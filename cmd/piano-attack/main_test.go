@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAttackCampaign(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-trials", "2", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "guessing-based replay") || !strings.Contains(out, "all-frequency") {
+		t.Errorf("attack output incomplete:\n%s", out)
+	}
+	// The reproduction must never report a successful spoof at defaults.
+	if strings.Contains(out, "2/2 attacks succeeded") {
+		t.Errorf("attacks succeeded:\n%s", out)
+	}
+}
+
+func TestRunAttackBadArgs(t *testing.T) {
+	if err := run(&bytes.Buffer{}, []string{"-candidates", "1"}); err == nil {
+		t.Error("invalid candidate count accepted")
+	}
+	if err := run(&bytes.Buffer{}, []string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

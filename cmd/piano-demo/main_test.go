@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDemoOffice(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-distance", "0.8", "-env", "office", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"estimated distance", "decision", "energy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDemoWallDenies(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-distance", "0.8", "-wall"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "not present") {
+		t.Errorf("wall demo did not deny:\n%s", buf.String())
+	}
+}
+
+func TestRunDemoBadArgs(t *testing.T) {
+	if err := run(&bytes.Buffer{}, []string{"-env", "moon"}); err == nil {
+		t.Error("unknown environment accepted")
+	}
+	if err := run(&bytes.Buffer{}, []string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestParseEnv(t *testing.T) {
+	for _, name := range []string{"quiet", "office", "home", "restaurant", "street"} {
+		if _, err := parseEnv(name); err != nil {
+			t.Errorf("parseEnv(%q): %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-experiment", "tables", "-trials", "2", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "Table II") {
+		t.Errorf("tables output incomplete:\n%s", out)
+	}
+}
+
+func TestRunEfficiencyExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-experiment", "efficiency", "-trials", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "battery") {
+		t.Errorf("efficiency output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(&bytes.Buffer{}, []string{"-experiment", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run(&bytes.Buffer{}, []string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

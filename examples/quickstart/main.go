@@ -1,0 +1,29 @@
+// Quickstart: pair two devices one meter apart in an office and run a
+// single PIANO authentication.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/acoustic-auth/piano"
+)
+
+func main() {
+	// The authenticating device is a voice-powered smart speaker at the
+	// origin; the vouching device is the user's watch 0.8 m away.
+	dep, err := piano.NewDeployment(piano.DefaultConfig(),
+		piano.DeviceSpec{Name: "smart-speaker", X: 0, Y: 0},
+		piano.DeviceSpec{Name: "watch", X: 0.8, Y: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dec, err := dep.Authenticate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decision: %s\n", dec.Reason)
+	fmt.Printf("measured distance: %.2f m (true %.2f m)\n", dec.DistanceM, dep.TrueDistance())
+	fmt.Printf("latency: %.2f s\n", dec.AuthTimeSec)
+}

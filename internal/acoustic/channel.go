@@ -1,0 +1,212 @@
+// Package acoustic simulates the physical layer the paper's prototype
+// exercised with real speakers and microphones: sound propagation with
+// distance-dependent delay and attenuation, multipath reflections and
+// transducer imperfections (the source of the paper's "frequency smoothing"
+// effect), wall transmission loss, and per-environment ambient noise whose
+// power concentrates below 6 kHz — exactly the measurement that led the
+// authors to place the candidate band at [25 kHz, 35 kHz].
+package acoustic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SpeedOfSoundMPS is the propagation speed used throughout (the paper uses
+// "around 340 m/s"; 343 m/s is the 20 °C value).
+const SpeedOfSoundMPS = 343.0
+
+// ChannelConfig holds the physical constants of the simulated air channel.
+type ChannelConfig struct {
+	// RefGain is the amplitude gain at 1 m: gain(d) = RefGain/d (spherical
+	// spreading), clamped to MaxGain. Calibrated so that the detectable
+	// range d_s lands near the paper's ≈2.5 m.
+	RefGain float64
+	// MaxGain caps the gain at very short range (models microphone AGC;
+	// also keeps a device's own reference signal from clipping its ADC).
+	MaxGain float64
+	// WallTransmission is the extra amplitude factor applied when source
+	// and receiver are in different rooms. The paper observes walls
+	// attenuate the reference signals below detectability.
+	WallTransmission float64
+	// MinDistance clamps the geometric distance (devices are never
+	// acoustically coincident).
+	MinDistance float64
+	// TransducerTaps is the number of short-delay echo taps modelling the
+	// combined speaker+microphone impulse response; TransducerGain bounds
+	// their amplitude relative to the direct path. These taps smear the
+	// waveform in time — the frequency-smoothing phenomenon that defeats
+	// cross-correlation detection (paper §IV-C, Fig. 2b).
+	TransducerTaps int
+	TransducerGain float64
+}
+
+// DefaultChannelConfig returns the calibrated physical constants.
+func DefaultChannelConfig() ChannelConfig {
+	return ChannelConfig{
+		RefGain:          0.32,
+		MaxGain:          0.85,
+		WallTransmission: 0.05,
+		MinDistance:      0.02,
+		TransducerTaps:   2,
+		TransducerGain:   0.12,
+	}
+}
+
+// Validate checks the configuration for physical plausibility.
+func (c ChannelConfig) Validate() error {
+	switch {
+	case c.RefGain <= 0:
+		return errors.New("acoustic: RefGain must be positive")
+	case c.MaxGain <= 0:
+		return errors.New("acoustic: MaxGain must be positive")
+	case c.WallTransmission < 0 || c.WallTransmission > 1:
+		return fmt.Errorf("acoustic: WallTransmission %g out of [0,1]", c.WallTransmission)
+	case c.MinDistance <= 0:
+		return errors.New("acoustic: MinDistance must be positive")
+	case c.TransducerTaps < 0 || c.TransducerGain < 0:
+		return errors.New("acoustic: transducer parameters must be non-negative")
+	}
+	return nil
+}
+
+// Tap is one impulse-response component of a propagation path: an extra
+// delay (relative to the direct line-of-sight arrival) and an amplitude
+// gain (already folded with the direct-path gain).
+type Tap struct {
+	DelaySamples float64
+	Gain         float64
+}
+
+// Path is the complete impulse response between one speaker and one
+// microphone: the line-of-sight base delay plus a set of taps (direct path,
+// transducer smearing, room reflections) and a random allpass cascade
+// modelling transducer phase dispersion.
+type Path struct {
+	// BaseDelaySamples is distance/343 · sampleRate for the direct path.
+	BaseDelaySamples float64
+	// Taps are offsets on top of the base delay. Taps[0] is the direct
+	// path (delay 0).
+	Taps []Tap
+	// AllpassCoeffs are first-order allpass coefficients applied in
+	// cascade to the emitted waveform. Speakers and microphones driven an
+	// octave above their design band (25–35 kHz on phone hardware) have
+	// wildly non-linear phase; an allpass cascade reproduces exactly that:
+	// unit magnitude response (the frequency detector's band powers are
+	// untouched) but heavy phase dispersion, which is the frequency
+	// smoothing that collapses time-domain cross-correlation (Fig. 2b).
+	AllpassCoeffs []float64
+	// Blocked reports whether the path is attenuated below usefulness
+	// (kept for diagnostics; blocked paths still render, just faintly).
+	Blocked bool
+}
+
+// ApplyAllpass runs src through the first-order allpass cascade described
+// by coeffs (y[n] = −a·x[n] + x[n−1] + a·y[n−1] per section), returning a
+// slightly longer buffer to hold the dispersion tail.
+func ApplyAllpass(src []float64, coeffs []float64) []float64 {
+	const tail = 256
+	cur := make([]float64, len(src)+tail)
+	copy(cur, src)
+	next := make([]float64, len(cur))
+	for _, a := range coeffs {
+		var xPrev, yPrev float64
+		for i, x := range cur {
+			y := -a*x + xPrev + a*yPrev
+			next[i] = y
+			xPrev, yPrev = x, y
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// Gain returns the direct-path amplitude gain for distance d (meters).
+func (c ChannelConfig) Gain(d float64) float64 {
+	if d < c.MinDistance {
+		d = c.MinDistance
+	}
+	g := c.RefGain / d
+	if g > c.MaxGain {
+		g = c.MaxGain
+	}
+	return g
+}
+
+// NewPath builds the impulse response for a speaker→microphone pair.
+// distance is in meters; sameRoom=false applies the wall loss; profile
+// supplies the environment's reflection richness; rng drives the randomized
+// reflection geometry (every authentication sees a slightly different
+// channel, as real rooms do when people move).
+func NewPath(cfg ChannelConfig, profile Profile, distance float64, sameRoom bool, sampleRate float64, rng *rand.Rand) (*Path, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sampleRate <= 0 {
+		return nil, errors.New("acoustic: sample rate must be positive")
+	}
+	if rng == nil {
+		return nil, errors.New("acoustic: nil rng")
+	}
+	if distance < cfg.MinDistance {
+		distance = cfg.MinDistance
+	}
+
+	g := cfg.Gain(distance)
+	blocked := false
+	if !sameRoom {
+		g *= cfg.WallTransmission
+		blocked = true
+	}
+
+	// Time-of-flight wander on inter-device paths (see
+	// Profile.PathJitterSamples). Self paths (speaker to own mic, a few
+	// centimeters inside one chassis) do not wander.
+	baseDelay := distance / SpeedOfSoundMPS * sampleRate
+	if distance > 0.2 && profile.PathJitterSamples > 0 {
+		baseDelay += rng.NormFloat64() * profile.PathJitterSamples
+		if baseDelay < 0 {
+			baseDelay = 0
+		}
+	}
+
+	taps := make([]Tap, 0, 1+cfg.TransducerTaps+profile.ReflectionCount)
+	taps = append(taps, Tap{DelaySamples: 0, Gain: g})
+
+	// Transducer smearing: short-delay taps within a few samples.
+	for i := 0; i < cfg.TransducerTaps; i++ {
+		decay := math.Pow(0.6, float64(i))
+		gain := g * cfg.TransducerGain * decay * (2*rng.Float64() - 1)
+		delay := 1 + float64(i) + rng.Float64()
+		taps = append(taps, Tap{DelaySamples: delay, Gain: gain})
+	}
+
+	// Room reflections: longer excess paths, attenuated by the extra
+	// travel and surface absorption. Reflections also pass the wall when
+	// the direct path does not, so they inherit the wall loss.
+	for i := 0; i < profile.ReflectionCount; i++ {
+		delay := profile.ReflectionDelayMin +
+			rng.Float64()*(profile.ReflectionDelayMax-profile.ReflectionDelayMin)
+		gain := g * (profile.ReflectionGainMin +
+			rng.Float64()*(profile.ReflectionGainMax-profile.ReflectionGainMin))
+		if rng.Intn(2) == 0 {
+			gain = -gain
+		}
+		taps = append(taps, Tap{DelaySamples: delay, Gain: gain})
+	}
+
+	// Transducer phase dispersion: a handful of random allpass sections.
+	allpass := make([]float64, 4)
+	for i := range allpass {
+		allpass[i] = (2*rng.Float64() - 1) * 0.45
+	}
+
+	return &Path{
+		BaseDelaySamples: baseDelay,
+		Taps:             taps,
+		AllpassCoeffs:    allpass,
+		Blocked:          blocked,
+	}, nil
+}

@@ -1,0 +1,155 @@
+// Package attack implements the paper's threat harness (§III, §V, §VI-E):
+// zero-effort attacks, guessing-based replay attacks, all-frequency-based
+// spoofing attacks, and the benign multi-user interference of Fig. 2(a).
+// Attacks are expressed as core.ExtraPlay injections into the ACTION
+// session's acoustic scene.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/acoustic-auth/piano/internal/core"
+	"github.com/acoustic-auth/piano/internal/device"
+	"github.com/acoustic-auth/piano/internal/sigref"
+)
+
+// NewAttackerDevice builds a speaker-equipped attacker device at the given
+// position (same room as the victim unless room differs).
+func NewAttackerDevice(name string, pos [2]float64, room int) (*device.Device, error) {
+	d, err := device.New(device.Config{
+		Name:       name,
+		Position:   pos,
+		Room:       room,
+		SampleRate: 44100,
+		ProcDelay:  device.ProcessingDelay{MeanSec: 0.05, JitterSec: 0.02},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	return d, nil
+}
+
+// GuessingReplay builds the §V guessing-based replay attack: the attacker
+// knows the candidate set and the construction algorithm, synthesizes two
+// guessed reference signals, and plays them near the authenticating device
+// timed like the legitimate schedule.
+func GuessingReplay(p sigref.Params, attacker *device.Device, rng *rand.Rand) ([]core.ExtraPlay, error) {
+	if attacker == nil {
+		return nil, errors.New("attack: nil attacker device")
+	}
+	if rng == nil {
+		return nil, errors.New("attack: nil rng")
+	}
+	guessA, err := sigref.New(p, rng)
+	if err != nil {
+		return nil, fmt.Errorf("attack: guess S_A: %w", err)
+	}
+	guessV, err := sigref.New(p, rng)
+	if err != nil {
+		return nil, fmt.Errorf("attack: guess S_V: %w", err)
+	}
+	// The attacker mimics the protocol cadence: two plays spaced by
+	// roughly the legitimate gap, at plausible absolute times.
+	return []core.ExtraPlay{
+		{Device: attacker, Samples: guessA.Samples(), Random: true},
+		{Device: attacker, Samples: guessV.Samples(), Random: true},
+	}, nil
+}
+
+// AllFrequency builds the §V all-frequency-based spoofing attack: a long
+// signal containing every candidate frequency at equal power, played for
+// the entire authentication window. The α/β sanity checks of Algorithm 2
+// are specifically designed to defeat it.
+func AllFrequency(p sigref.Params, attacker *device.Device, durSec float64, powerScale float64, rng *rand.Rand) ([]core.ExtraPlay, error) {
+	if attacker == nil {
+		return nil, errors.New("attack: nil attacker device")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if durSec <= 0 {
+		return nil, errors.New("attack: duration must be positive")
+	}
+	if powerScale <= 0 {
+		powerScale = 1
+	}
+	n := int(durSec * p.SampleRate)
+	samples := make([]float64, n)
+	amp := powerScale * p.FullScale / float64(p.NumCandidates)
+	for _, f := range p.Candidates() {
+		w := 2 * math.Pi * f / p.SampleRate
+		phase := 0.0
+		if rng != nil {
+			phase = rng.Float64() * 2 * math.Pi
+		}
+		for t := range samples {
+			samples[t] += amp * math.Sin(w*float64(t)+phase)
+		}
+	}
+	return []core.ExtraPlay{
+		{Device: attacker, Samples: samples, AtSec: 0},
+	}, nil
+}
+
+// TimedAllFrequency builds the strongest §V all-frequency variant: each
+// attacker speaker plays one reference-signal-length burst containing every
+// candidate frequency, all synchronized at the given global time — crafted
+// to be accepted as both reference signals by a detector without the β
+// sanity check.
+func TimedAllFrequency(p sigref.Params, attackers []*device.Device, atSec float64, rng *rand.Rand) ([]core.ExtraPlay, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(attackers) == 0 {
+		return nil, errors.New("attack: no attacker devices")
+	}
+	burst := make([]float64, p.Length)
+	amp := p.FullScale / float64(p.NumCandidates)
+	for _, f := range p.Candidates() {
+		w := 2 * math.Pi * f / p.SampleRate
+		phase := 0.0
+		if rng != nil {
+			phase = rng.Float64() * 2 * math.Pi
+		}
+		for t := range burst {
+			burst[t] += amp * math.Sin(w*float64(t)+phase)
+		}
+	}
+	plays := make([]core.ExtraPlay, 0, len(attackers))
+	for _, d := range attackers {
+		if d == nil {
+			return nil, errors.New("attack: nil attacker device")
+		}
+		cp := make([]float64, len(burst))
+		copy(cp, burst)
+		plays = append(plays, core.ExtraPlay{Device: d, Samples: cp, AtSec: atSec})
+	}
+	return plays, nil
+}
+
+// Interference builds the benign multi-user scenario of Fig. 2(a): count
+// other PIANO pairs in the same space launch authentications at close
+// times, each playing two randomized reference signals at random moments.
+// Devices must contain one entry per interfering emitter.
+func Interference(p sigref.Params, devices []*device.Device, rng *rand.Rand) ([]core.ExtraPlay, error) {
+	if rng == nil {
+		return nil, errors.New("attack: nil rng")
+	}
+	plays := make([]core.ExtraPlay, 0, 2*len(devices))
+	for _, d := range devices {
+		if d == nil {
+			return nil, errors.New("attack: nil interferer device")
+		}
+		for k := 0; k < 2; k++ {
+			sig, err := sigref.New(p, rng)
+			if err != nil {
+				return nil, fmt.Errorf("attack: interferer signal: %w", err)
+			}
+			plays = append(plays, core.ExtraPlay{Device: d, Samples: sig.Samples(), Random: true})
+		}
+	}
+	return plays, nil
+}

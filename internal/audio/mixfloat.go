@@ -1,0 +1,92 @@
+package audio
+
+import "math"
+
+// sincHalfWidth is the one-sided length of the windowed-sinc interpolation
+// kernel used for band-limited fractional delay. Linear interpolation is a
+// 2-tap averaging filter that attenuates near-Nyquist content by up to
+// −13 dB — fatal for PIANO's candidate band, which aliases to 9–19 kHz —
+// so propagation delays are applied with a 48-tap Hann-windowed sinc that
+// stays flat through the candidate band.
+const sincHalfWidth = 24
+
+// MixFloatSinc adds src into dst starting at the (possibly fractional)
+// sample offset, applying the fractional part as a band-limited delay via a
+// Hann-windowed sinc kernel.
+func MixFloatSinc(dst, src []float64, offset float64) {
+	if len(src) == 0 || len(dst) == 0 {
+		return
+	}
+	base := math.Floor(offset)
+	frac := offset - base
+	start := int(base)
+	if frac < 1e-9 {
+		// Pure integer delay: add directly.
+		for i, v := range src {
+			di := start + i
+			if di >= 0 && di < len(dst) {
+				dst[di] += v
+			}
+		}
+		return
+	}
+
+	// Kernel h[k] for k in [-L+1, L]: delayed-by-frac band-limited
+	// impulse, Hann-windowed.
+	const l = sincHalfWidth
+	var kernel [2 * l]float64
+	for k := -l + 1; k <= l; k++ {
+		x := float64(k) - frac
+		var s float64
+		if math.Abs(x) < 1e-12 {
+			s = 1
+		} else {
+			s = math.Sin(math.Pi*x) / (math.Pi * x)
+		}
+		// Hann window centered on the delayed impulse.
+		w := 0.5 * (1 + math.Cos(math.Pi*x/float64(l)))
+		if x < -float64(l) || x > float64(l) {
+			w = 0
+		}
+		kernel[k+l-1] = s * w
+	}
+
+	for i, v := range src {
+		if v == 0 {
+			continue
+		}
+		for k := -l + 1; k <= l; k++ {
+			di := start + i + k
+			if di >= 0 && di < len(dst) {
+				dst[di] += v * kernel[k+l-1]
+			}
+		}
+	}
+}
+
+// MixFloat adds src into the float64 accumulation buffer dst starting at the
+// (possibly fractional) sample offset, using linear interpolation for the
+// fractional part. The world simulator accumulates all acoustic sources in
+// float64 and quantizes to int16 once, so intermediate mixing never clips.
+func MixFloat(dst, src []float64, offset float64) {
+	if len(src) == 0 || len(dst) == 0 {
+		return
+	}
+	base := math.Floor(offset)
+	frac := offset - base
+	start := int(base)
+	for i := 0; i <= len(src); i++ {
+		di := start + i
+		if di < 0 || di >= len(dst) {
+			continue
+		}
+		var v float64
+		if i < len(src) {
+			v += (1 - frac) * src[i]
+		}
+		if i > 0 {
+			v += frac * src[i-1]
+		}
+		dst[di] += v
+	}
+}

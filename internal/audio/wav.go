@@ -1,0 +1,90 @@
+package audio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// WAV support is provided for debugging: experiment runners can dump the
+// exact PCM a simulated microphone recorded and inspect it with standard
+// tools. Only the canonical 16-bit mono PCM layout is implemented.
+
+// ErrBadWAV is returned when decoding input that is not a canonical
+// 16-bit mono PCM RIFF/WAVE stream.
+var ErrBadWAV = errors.New("audio: malformed WAV data")
+
+// EncodeWAV writes b as a canonical RIFF/WAVE file (PCM, mono, 16-bit).
+func EncodeWAV(w io.Writer, b *Buffer) error {
+	if b == nil || b.SampleRate <= 0 {
+		return fmt.Errorf("audio: encode wav: invalid buffer")
+	}
+	dataLen := uint32(len(b.Samples) * 2)
+	rate := uint32(b.SampleRate)
+
+	var header [44]byte
+	copy(header[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(header[4:8], 36+dataLen)
+	copy(header[8:12], "WAVE")
+	copy(header[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(header[16:20], 16) // PCM fmt chunk size
+	binary.LittleEndian.PutUint16(header[20:22], 1)  // PCM
+	binary.LittleEndian.PutUint16(header[22:24], 1)  // mono
+	binary.LittleEndian.PutUint32(header[24:28], rate)
+	binary.LittleEndian.PutUint32(header[28:32], rate*2) // byte rate
+	binary.LittleEndian.PutUint16(header[32:34], 2)      // block align
+	binary.LittleEndian.PutUint16(header[34:36], 16)     // bits per sample
+	copy(header[36:40], "data")
+	binary.LittleEndian.PutUint32(header[40:44], dataLen)
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("audio: encode wav header: %w", err)
+	}
+
+	body := make([]byte, dataLen)
+	for i, s := range b.Samples {
+		binary.LittleEndian.PutUint16(body[2*i:], uint16(s))
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("audio: encode wav data: %w", err)
+	}
+	return nil
+}
+
+// DecodeWAV parses a canonical 16-bit mono PCM WAV stream produced by
+// EncodeWAV (or any compatible writer).
+func DecodeWAV(r io.Reader) (*Buffer, error) {
+	var header [44]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("audio: decode wav header: %w", err)
+	}
+	if string(header[0:4]) != "RIFF" || string(header[8:12]) != "WAVE" || string(header[12:16]) != "fmt " {
+		return nil, fmt.Errorf("audio: decode wav: bad magic: %w", ErrBadWAV)
+	}
+	if binary.LittleEndian.Uint16(header[20:22]) != 1 {
+		return nil, fmt.Errorf("audio: decode wav: not PCM: %w", ErrBadWAV)
+	}
+	if binary.LittleEndian.Uint16(header[22:24]) != 1 {
+		return nil, fmt.Errorf("audio: decode wav: not mono: %w", ErrBadWAV)
+	}
+	if binary.LittleEndian.Uint16(header[34:36]) != 16 {
+		return nil, fmt.Errorf("audio: decode wav: not 16-bit: %w", ErrBadWAV)
+	}
+	if string(header[36:40]) != "data" {
+		return nil, fmt.Errorf("audio: decode wav: missing data chunk: %w", ErrBadWAV)
+	}
+	rate := binary.LittleEndian.Uint32(header[24:28])
+	dataLen := binary.LittleEndian.Uint32(header[40:44])
+	if dataLen%2 != 0 {
+		return nil, fmt.Errorf("audio: decode wav: odd data length: %w", ErrBadWAV)
+	}
+	body := make([]byte, dataLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("audio: decode wav data: %w", err)
+	}
+	samples := make([]int16, dataLen/2)
+	for i := range samples {
+		samples[i] = int16(binary.LittleEndian.Uint16(body[2*i:]))
+	}
+	return &Buffer{SampleRate: float64(rate), Samples: samples}, nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/acoustic-auth/piano/internal/bluetooth"
+	"github.com/acoustic-auth/piano/internal/device"
+	"github.com/acoustic-auth/piano/internal/energy"
+)
+
+// Reason explains an authentication decision.
+type Reason int
+
+// Decision reasons, in the order PIANO's authentication phase checks them.
+const (
+	// ReasonGranted: estimated distance ≤ τ.
+	ReasonGranted Reason = iota + 1
+	// ReasonBluetoothOutOfRange: the vouching device is unreachable, so
+	// access is denied without estimating distance (and FAR is 0).
+	ReasonBluetoothOutOfRange
+	// ReasonSignalAbsent: a reference signal was not present in a
+	// recording (⊥) — devices too far apart, separated by a wall, or a
+	// spoofing attempt tripped the sanity checks.
+	ReasonSignalAbsent
+	// ReasonDistanceExceedsThreshold: distance measured fine but > τ.
+	ReasonDistanceExceedsThreshold
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case ReasonGranted:
+		return "granted"
+	case ReasonBluetoothOutOfRange:
+		return "denied: vouching device out of Bluetooth range"
+	case ReasonSignalAbsent:
+		return "denied: reference signal not present"
+	case ReasonDistanceExceedsThreshold:
+		return "denied: distance exceeds threshold"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// Result is one authentication decision.
+type Result struct {
+	// Granted is the access decision.
+	Granted bool
+	// Reason explains it.
+	Reason Reason
+	// DistanceM is the ACTION estimate (valid when Session.Found).
+	DistanceM float64
+	// Session holds the protocol internals; nil when the decision was
+	// made before ACTION ran (e.g. Bluetooth out of range).
+	Session *SessionResult
+}
+
+// Authenticator is a registered PIANO pairing: one authenticating device
+// guarded by one vouching device.
+type Authenticator struct {
+	cfg       Config
+	auth      *device.Device
+	vouch     *device.Device
+	linkAuth  *bluetooth.Link
+	linkVouch *bluetooth.Link
+	rng       *rand.Rand
+	ledger    *energy.Ledger
+	battery   *energy.Battery
+}
+
+// NewAuthenticator performs the registration phase (Bluetooth pairing with
+// key agreement) and returns a ready authenticator.
+func NewAuthenticator(cfg Config, auth, vouch *device.Device, rng *rand.Rand) (*Authenticator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if auth == nil || vouch == nil {
+		return nil, errors.New("core: nil device")
+	}
+	if rng == nil {
+		return nil, errors.New("core: nil rng")
+	}
+	la, lv, err := bluetooth.Pair(auth, vouch, cfg.BTLatency, cfg.BTRangeM)
+	if err != nil {
+		return nil, fmt.Errorf("core: registration: %w", err)
+	}
+	return &Authenticator{
+		cfg:       cfg,
+		auth:      auth,
+		vouch:     vouch,
+		linkAuth:  la,
+		linkVouch: lv,
+		rng:       rng,
+	}, nil
+}
+
+// Config returns the deployment configuration.
+func (a *Authenticator) Config() Config { return a.cfg }
+
+// SetThreshold tunes τ — the personalization knob of the paper's abstract
+// ("users can set the authentication threshold to be 0.5 meter if ... 1
+// meter is too long to be safe").
+func (a *Authenticator) SetThreshold(m float64) error {
+	if m <= 0 {
+		return errors.New("core: threshold must be positive")
+	}
+	a.cfg.ThresholdM = m
+	return nil
+}
+
+// TrackEnergy attaches an energy ledger (and optionally a battery) so
+// subsequent authentications account their consumption.
+func (a *Authenticator) TrackEnergy(l *energy.Ledger, b *energy.Battery) {
+	a.ledger = l
+	a.battery = b
+}
+
+// AuthDevice returns the authenticating device.
+func (a *Authenticator) AuthDevice() *device.Device { return a.auth }
+
+// VouchDevice returns the vouching device.
+func (a *Authenticator) VouchDevice() *device.Device { return a.vouch }
+
+// Measure runs ACTION once without making an access decision (the
+// distance-accuracy experiments use this directly).
+func (a *Authenticator) Measure(extras ...ExtraPlay) (*SessionResult, error) {
+	sr, err := RunACTION(a.cfg, a.auth, a.vouch, a.linkAuth, a.linkVouch, a.rng, extras)
+	if err != nil {
+		return nil, err
+	}
+	a.account(sr)
+	return sr, nil
+}
+
+// Authenticate executes the paper's authentication phase:
+//  1. check the vouching device is reachable over Bluetooth — if not,
+//     deny immediately;
+//  2. run ACTION;
+//  3. grant iff the estimated distance ≤ τ.
+func (a *Authenticator) Authenticate(extras ...ExtraPlay) (*Result, error) {
+	if !a.linkAuth.InRange() {
+		return &Result{Granted: false, Reason: ReasonBluetoothOutOfRange}, nil
+	}
+	sr, err := a.Measure(extras...)
+	if err != nil {
+		return nil, err
+	}
+	if !sr.Found {
+		return &Result{Granted: false, Reason: ReasonSignalAbsent, Session: sr}, nil
+	}
+	if sr.DistanceM > a.cfg.ThresholdM {
+		return &Result{
+			Granted:   false,
+			Reason:    ReasonDistanceExceedsThreshold,
+			DistanceM: sr.DistanceM,
+			Session:   sr,
+		}, nil
+	}
+	return &Result{
+		Granted:   true,
+		Reason:    ReasonGranted,
+		DistanceM: sr.DistanceM,
+		Session:   sr,
+	}, nil
+}
+
+// account books one session's energy into the attached ledger/battery.
+func (a *Authenticator) account(sr *SessionResult) {
+	if a.ledger == nil || sr == nil {
+		return
+	}
+	a.ledger.RecordMic(sr.RecordSeconds)
+	a.ledger.RecordSpeaker(sr.PlaySeconds)
+	a.ledger.RecordCPU(sr.DetectSeconds + a.cfg.SigConstructSec)
+	a.ledger.RecordBluetooth(sr.BTSeconds)
+	a.ledger.RecordBaseline(sr.AuthTimeSec)
+	if a.battery != nil {
+		m := a.ledger.Model()
+		j := m.MicW*sr.RecordSeconds +
+			m.SpeakerW*sr.PlaySeconds +
+			m.CPUW*(sr.DetectSeconds+a.cfg.SigConstructSec) +
+			m.BluetoothW*sr.BTSeconds +
+			m.BaselineW*sr.AuthTimeSec
+		a.battery.Drain(j)
+	}
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/acoustic-auth/piano/internal/acoustic"
+	"github.com/acoustic-auth/piano/internal/bluetooth"
+	"github.com/acoustic-auth/piano/internal/detect"
+	"github.com/acoustic-auth/piano/internal/device"
+	"github.com/acoustic-auth/piano/internal/sigref"
+	"github.com/acoustic-auth/piano/internal/world"
+)
+
+// ExtraPlay injects an additional acoustic emission into a session's scene:
+// other PIANO users (Fig. 2a), spoofing attackers (§VI-E), or any ambient
+// source. The playing device must be distinct from the protocol devices.
+type ExtraPlay struct {
+	// Device is the emitting device (position/room already set).
+	Device *device.Device
+	// Samples is the waveform on the int16 amplitude scale.
+	Samples []float64
+	// AtSec schedules the emission at a global time; ignored if Random.
+	AtSec float64
+	// Random schedules the emission uniformly over the recording span.
+	Random bool
+}
+
+// SessionResult captures one full run of ACTION.
+type SessionResult struct {
+	// DistanceM is the Eq. 3 estimate; valid only when Found.
+	DistanceM float64
+	// Found is false when any of the four detections returned ⊥.
+	Found bool
+	// AbsentDetail names the detection that came back ⊥ (diagnostics).
+	AbsentDetail string
+
+	// Raw detected locations (sample indices in each device's recording).
+	LocAA, LocAV, LocVA, LocVV int
+
+	// AuthTimeSec is the modeled wall-clock duration of the whole
+	// authentication on the prototype handset.
+	AuthTimeSec float64
+	// BTSeconds is the modeled total Bluetooth exchange time.
+	BTSeconds float64
+	// DetectSeconds is the modeled detection CPU time on the
+	// authenticating device.
+	DetectSeconds float64
+	// RecordSeconds is the microphone capture duration.
+	RecordSeconds float64
+	// PlaySeconds is the speaker playback duration on the authenticating
+	// device.
+	PlaySeconds float64
+	// WindowsScanned counts NormPower evaluations on the authenticating
+	// device (shared coarse scan counted once).
+	WindowsScanned int
+}
+
+// sameIndexSet reports whether two sorted index slices are identical.
+func sameIndexSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// locDiffMsg is the Step V payload: the vouching device's local location
+// difference l_VV − l_VA plus its nominal sampling rate.
+type locDiffMsg struct {
+	diff int64
+	rate float64
+}
+
+func encodeLocDiff(m locDiffMsg) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(m.diff))
+	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(m.rate))
+	return buf
+}
+
+func decodeLocDiff(data []byte) (locDiffMsg, error) {
+	if len(data) != 16 {
+		return locDiffMsg{}, fmt.Errorf("core: location-difference payload is %d bytes, want 16", len(data))
+	}
+	return locDiffMsg{
+		diff: int64(binary.LittleEndian.Uint64(data[0:8])),
+		rate: math.Float64frombits(binary.LittleEndian.Uint64(data[8:16])),
+	}, nil
+}
+
+// RunACTION executes one complete distance estimation between the
+// authenticating device (linkAuth.local side) and the vouching device over
+// a freshly rendered acoustic scene.
+//
+// The returned SessionResult carries both the protocol outcome and the
+// modeled time/energy figures for the efficiency experiment.
+func RunACTION(
+	cfg Config,
+	auth, vouch *device.Device,
+	linkAuth, linkVouch *bluetooth.Link,
+	rng *rand.Rand,
+	extras []ExtraPlay,
+) (*SessionResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if auth == nil || vouch == nil || linkAuth == nil || linkVouch == nil {
+		return nil, errors.New("core: nil device or link")
+	}
+	if rng == nil {
+		return nil, errors.New("core: nil rng")
+	}
+
+	res := &SessionResult{}
+
+	// --- Step I: the authenticating device constructs S_A and S_V. ---
+	sigA, err := sigref.New(cfg.Signal, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: construct S_A: %w", err)
+	}
+	// S_V must not share S_A's exact frequency set: identical sets make
+	// each device detect its own play as both signals (both location
+	// differences collapse to zero ⇒ distance 0 ⇒ grant with the user
+	// absent). The α/β checks already reject strict sub/supersets, so
+	// redrawing on exact equality closes the only dangerous collision.
+	var sigV *sigref.Signal
+	for tries := 0; ; tries++ {
+		sigV, err = sigref.New(cfg.Signal, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: construct S_V: %w", err)
+		}
+		if !sameIndexSet(sigA.Indices(), sigV.Indices()) {
+			break
+		}
+		if tries > 64 {
+			return nil, errors.New("core: could not draw distinct reference signals")
+		}
+	}
+
+	// --- Step II: ship both descriptors over the secure channel. ---
+	descA, err := sigA.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: marshal S_A: %w", err)
+	}
+	descV, err := sigV.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: marshal S_V: %w", err)
+	}
+	lat1, err := linkAuth.Send(descA, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: step II: %w", err)
+	}
+	lat2, err := linkAuth.Send(descV, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: step II: %w", err)
+	}
+	gotA, err := linkVouch.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("core: step II recv: %w", err)
+	}
+	gotB, err := linkVouch.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("core: step II recv: %w", err)
+	}
+	vouchSigA, err := sigref.UnmarshalSignal(gotA)
+	if err != nil {
+		return nil, fmt.Errorf("core: step II decode: %w", err)
+	}
+	vouchSigV, err := sigref.UnmarshalSignal(gotB)
+	if err != nil {
+		return nil, fmt.Errorf("core: step II decode: %w", err)
+	}
+
+	// --- Timeline. Global t=0 is when the authenticating device starts
+	// the session. Recording origins become each device's private clock
+	// offset, so Eq. 3's clock-independence is genuinely exercised. ---
+	recStartA := cfg.SigConstructSec
+	recStartV := recStartA + lat1 + lat2
+	if err := auth.ResetClock(recStartA); err != nil {
+		return nil, err
+	}
+	if err := vouch.ResetClock(recStartV); err != nil {
+		return nil, err
+	}
+
+	cmdA := recStartV + cfg.LeadSec
+	playA := cmdA + auth.ProcDelay().Sample(rng)
+	cmdV := cmdA + cfg.GapSec
+	playV := cmdV + vouch.ProcDelay().Sample(rng)
+
+	sigDur := cfg.Signal.DurationSec()
+	recEnd := math.Min(recStartA, recStartV) + cfg.World.DurationSec
+	maxProp := cfg.BTRangeM / acoustic.SpeedOfSoundMPS
+	if playV+sigDur+maxProp+0.02 > recEnd {
+		return nil, fmt.Errorf("core: recording window %.2fs too short for schedule ending %.2fs",
+			cfg.World.DurationSec, playV+sigDur+maxProp+0.02)
+	}
+
+	// --- Step III: build the scene and play. ---
+	w, err := world.New(cfg.World, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.AddDevice(auth); err != nil {
+		return nil, err
+	}
+	if err := w.AddDevice(vouch); err != nil {
+		return nil, err
+	}
+	added := make(map[*device.Device]bool, len(extras))
+	for _, ex := range extras {
+		if ex.Device == nil {
+			return nil, errors.New("core: extra play with nil device")
+		}
+		if ex.Device == auth || ex.Device == vouch {
+			return nil, errors.New("core: extra play must use a third device")
+		}
+		if added[ex.Device] {
+			continue // one device may emit several plays
+		}
+		if err := w.AddDevice(ex.Device); err != nil {
+			return nil, err
+		}
+		added[ex.Device] = true
+	}
+	if err := w.SchedulePlay(auth, sigA.Samples(), playA); err != nil {
+		return nil, err
+	}
+	if err := w.SchedulePlay(vouch, vouchSigV.Samples(), playV); err != nil {
+		return nil, err
+	}
+	for _, ex := range extras {
+		at := ex.AtSec
+		if ex.Random {
+			span := recEnd - recStartV - sigDur
+			if span < 0 {
+				span = 0
+			}
+			at = recStartV + rng.Float64()*span
+		}
+		if err := w.SchedulePlay(ex.Device, ex.Samples, at); err != nil {
+			return nil, err
+		}
+	}
+	recs, err := w.Render()
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Step IV: each device locates both signals in its recording. ---
+	det, err := detect.New(cfg.Detect)
+	if err != nil {
+		return nil, err
+	}
+	var resAuth, resVouch []detect.Result
+	if cfg.Mode == DetectCrossCorrelation {
+		// ACTION-CC baseline: locate each signal by normalized
+		// cross-correlation against the original waveform.
+		recA, recV := recs[auth].Float(), recs[vouch].Float()
+		for _, pair := range []struct {
+			rec  []float64
+			sigs []*sigref.Signal
+			out  *[]detect.Result
+		}{
+			{recA, []*sigref.Signal{sigA, sigV}, &resAuth},
+			{recV, []*sigref.Signal{vouchSigA, vouchSigV}, &resVouch},
+		} {
+			for _, s := range pair.sigs {
+				r, err := det.DetectCrossCorrelation(pair.rec, s)
+				if err != nil {
+					return nil, fmt.Errorf("core: cross-correlation detect: %w", err)
+				}
+				*pair.out = append(*pair.out, r)
+			}
+		}
+	} else {
+		resAuth, err = det.DetectAll(recs[auth].Float(), sigA, sigV)
+		if err != nil {
+			return nil, fmt.Errorf("core: detect on authenticating device: %w", err)
+		}
+		resVouch, err = det.DetectAll(recs[vouch].Float(), vouchSigA, vouchSigV)
+		if err != nil {
+			return nil, fmt.Errorf("core: detect on vouching device: %w", err)
+		}
+	}
+
+	res.WindowsScanned = resAuth[0].WindowsScanned + resAuth[1].WindowsScanned - resAuth[0].CoarseScanned
+	res.RecordSeconds = cfg.World.DurationSec
+	res.PlaySeconds = sigDur
+	res.DetectSeconds = float64(res.WindowsScanned) * cfg.PhoneFFTSec
+
+	// --- Step V: vouching device reports its local difference. ---
+	// (The message is sent regardless; on ⊥ it reports failure upstream —
+	// we model that as the same exchange.)
+	latBack, err := linkVouch.Send(encodeLocDiff(locDiffMsg{
+		diff: int64(resVouch[1].Location - resVouch[0].Location),
+		rate: vouch.SampleRate(),
+	}), rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: step V: %w", err)
+	}
+	back, err := linkAuth.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("core: step V recv: %w", err)
+	}
+	msg, err := decodeLocDiff(back)
+	if err != nil {
+		return nil, err
+	}
+
+	res.BTSeconds = lat1 + lat2 + latBack
+	res.AuthTimeSec = cfg.SigConstructSec + res.BTSeconds + (recEnd - 0) + res.DetectSeconds
+
+	// ⊥ anywhere denies the authentication (Algorithm 1 line 13).
+	switch {
+	case !resAuth[0].Found:
+		res.AbsentDetail = "authenticating device could not locate S_A"
+	case !resAuth[1].Found:
+		res.AbsentDetail = "authenticating device could not locate S_V"
+	case !resVouch[0].Found:
+		res.AbsentDetail = "vouching device could not locate S_A"
+	case !resVouch[1].Found:
+		res.AbsentDetail = "vouching device could not locate S_V"
+	}
+	if res.AbsentDetail != "" {
+		res.Found = false
+		return res, nil
+	}
+
+	res.LocAA = resAuth[0].Location
+	res.LocAV = resAuth[1].Location
+	res.LocVA = resVouch[0].Location
+	res.LocVV = resVouch[1].Location
+
+	// --- Step VI: Eq. 3 — clock-offset-free two-way distance. ---
+	fA := auth.SampleRate()
+	fV := msg.rate
+	if fV <= 0 {
+		return nil, fmt.Errorf("core: vouching device reported invalid rate %g", fV)
+	}
+	res.DistanceM = 0.5 * acoustic.SpeedOfSoundMPS *
+		(float64(res.LocAV-res.LocAA)/fA - float64(msg.diff)/fV)
+	// Plausibility gate: detections displaced onto partial-overlap
+	// windows produce estimates no physical geometry could (signals are
+	// undetectable beyond d_s). Treat them as the signal not being
+	// (correctly) present.
+	if res.DistanceM < cfg.PlausibleMinM || res.DistanceM > cfg.PlausibleMaxM {
+		res.AbsentDetail = fmt.Sprintf("implausible distance estimate %.2f m", res.DistanceM)
+		res.DistanceM = 0
+		res.Found = false
+		return res, nil
+	}
+	res.Found = true
+	return res, nil
+}

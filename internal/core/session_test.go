@@ -1,0 +1,26 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSameIndexSet covers the Step-I collision guard: identical frequency
+// sets between S_A and S_V would let each device detect its own play as
+// both signals, collapsing the distance to zero with the user absent.
+func TestSameIndexSet(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{nil, nil, true},
+		{[]int{1, 2}, []int{1, 2}, true},
+		{[]int{1, 2}, []int{1, 3}, false},
+		{[]int{1, 2}, []int{1, 2, 3}, false},
+		{[]int{1}, nil, false},
+	}
+	for _, c := range cases {
+		if got := sameIndexSet(c.a, c.b); got != c.want {
+			t.Errorf("sameIndexSet(%v, %v) = %v", c.a, c.b, got)
+		}
+	}
+}

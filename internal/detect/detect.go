@@ -1,0 +1,317 @@
+// Package detect implements the paper's signal-detection algorithms:
+//
+//   - Algorithm 2 (NormPower): the sanity-checked spectral matcher that
+//     scores how well a window of recorded audio matches a reference
+//     signal's power spectrum, with the α (attenuation floor), β (foreign
+//     frequency ceiling), and θ (frequency-smoothing aggregation width)
+//     parameters;
+//   - Algorithm 1: the sliding-window search for a reference signal's
+//     location, with the prototype's adaptive two-stage step (coarse 1000,
+//     fine 10), the simultaneous two-signal single-scan optimization, and
+//     the ε·R_S absent-signal check that denies authentication when the
+//     signal never reached the microphone.
+//
+// It also provides the cross-correlation detector used by the ACTION-CC
+// baseline of Fig. 2(b).
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/acoustic-auth/piano/internal/dsp"
+	"github.com/acoustic-auth/piano/internal/sigref"
+)
+
+// Config carries the detection parameters of Algorithms 1 and 2. The
+// defaults are the paper's prototype settings (§VI-A).
+type Config struct {
+	// Alpha is the attenuation tolerance: a window may match only if each
+	// chosen frequency retains power > Alpha·R_f. Paper: 1%.
+	Alpha float64
+	// BetaFrac sets the foreign-frequency ceiling β = BetaFrac·R_f: every
+	// candidate frequency NOT in the reference signal must stay below β.
+	// Paper: β = 0.5%·R_f.
+	BetaFrac float64
+	// Epsilon is the absent-signal threshold fraction: if the maximum
+	// normalized power over all windows is below Epsilon·R_S (R_S = Σ R_f),
+	// the signal is declared not present (⊥). The paper sets ε = 1%.
+	Epsilon float64
+	// Theta is the frequency-smoothing aggregation half-width in FFT bins.
+	// Paper: 5.
+	Theta int
+	// CoarseStep and FineStep are the two stage sizes of the prototype's
+	// adaptive search. Paper: 1000 and 10.
+	CoarseStep int
+	FineStep   int
+
+	// DisableBetaCheck turns off the foreign-frequency sanity check.
+	// ABLATION ONLY: the paper's §V argues this check is what defeats
+	// all-frequency spoofing; the ablation bench demonstrates that
+	// attacks start succeeding without it.
+	DisableBetaCheck bool
+}
+
+// DefaultConfig returns the paper's prototype parameters.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:      0.01,
+		BetaFrac:   0.005,
+		Epsilon:    0.01,
+		Theta:      5,
+		CoarseStep: 1000,
+		FineStep:   10,
+	}
+}
+
+// Validate checks parameter sanity.
+func (c Config) Validate() error {
+	switch {
+	case c.Alpha <= 0 || c.Alpha >= 1:
+		return fmt.Errorf("detect: alpha %g out of (0,1)", c.Alpha)
+	case c.BetaFrac <= 0 || c.BetaFrac >= 1:
+		return fmt.Errorf("detect: beta fraction %g out of (0,1)", c.BetaFrac)
+	case c.Epsilon <= 0 || c.Epsilon >= 1:
+		return fmt.Errorf("detect: epsilon %g out of (0,1)", c.Epsilon)
+	case c.Theta < 0:
+		return fmt.Errorf("detect: theta %d negative", c.Theta)
+	case c.CoarseStep < 1 || c.FineStep < 1:
+		return fmt.Errorf("detect: steps %d/%d must be ≥1", c.CoarseStep, c.FineStep)
+	case c.FineStep > c.CoarseStep:
+		return fmt.Errorf("detect: fine step %d exceeds coarse step %d", c.FineStep, c.CoarseStep)
+	}
+	return nil
+}
+
+// Result is the outcome of locating one reference signal.
+type Result struct {
+	// Location is the sample index where the signal starts, valid only
+	// when Found.
+	Location int
+	// Power is the maximum normalized power observed.
+	Power float64
+	// Found is false when Algorithm 1 outputs ⊥ (signal not present).
+	Found bool
+	// WindowsScanned counts NormPower evaluations attributable to this
+	// signal (coarse scan + its fine scan); the coarse scan is shared
+	// across signals detected in the same pass.
+	WindowsScanned int
+	// CoarseScanned is the shared coarse-scan window count, so callers
+	// can compute total FFT work without double-counting.
+	CoarseScanned int
+}
+
+// Detector locates reference signals in recorded audio.
+type Detector struct {
+	cfg Config
+}
+
+// New builds a Detector.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg}, nil
+}
+
+// Config returns the detector's parameters.
+func (d *Detector) Config() Config { return d.cfg }
+
+// sigSpec is the precomputed spectral footprint of one reference signal.
+type sigSpec struct {
+	sig          *sigref.Signal
+	chosenBins   []int // spectrum bin per chosen candidate
+	foreignBins  []int // spectrum bin per non-chosen candidate
+	alphaFloor   float64
+	betaCeiling  float64
+	absentFloor  float64
+	windowLength int
+	skipBeta     bool
+}
+
+func (d *Detector) newSigSpec(sig *sigref.Signal) *sigSpec {
+	p := sig.Params()
+	chosenSet := make(map[int]bool, sig.Count())
+	for _, idx := range sig.Indices() {
+		chosenSet[idx] = true
+	}
+	var chosen, foreign []int
+	for i, f := range p.Candidates() {
+		bin := dsp.BinIndex(f, p.SampleRate, p.Length)
+		if chosenSet[i] {
+			chosen = append(chosen, bin)
+		} else {
+			foreign = append(foreign, bin)
+		}
+	}
+	return &sigSpec{
+		sig:          sig,
+		chosenBins:   chosen,
+		foreignBins:  foreign,
+		alphaFloor:   d.cfg.Alpha * sig.RF(),
+		betaCeiling:  d.cfg.BetaFrac * sig.RF(),
+		absentFloor:  d.cfg.Epsilon * sig.TotalRF(),
+		windowLength: p.Length,
+		skipBeta:     d.cfg.DisableBetaCheck,
+	}
+}
+
+// normPower implements Algorithm 2 given a precomputed window power
+// spectrum. It returns −Inf when either sanity check fails.
+func (s *sigSpec) normPower(spectrum []float64, theta int) float64 {
+	var sumChosen float64
+	for _, bin := range s.chosenBins {
+		p := dsp.BandPower(spectrum, bin, theta)
+		if p <= s.alphaFloor {
+			return math.Inf(-1)
+		}
+		sumChosen += p
+	}
+	var sumForeign float64
+	for _, bin := range s.foreignBins {
+		p := dsp.BandPower(spectrum, bin, theta)
+		if !s.skipBeta && p >= s.betaCeiling {
+			return math.Inf(-1)
+		}
+		sumForeign += p
+	}
+	return sumChosen - sumForeign
+}
+
+// NormPower exposes Algorithm 2 for a single window (tests, ablations).
+func (d *Detector) NormPower(window []float64, sig *sigref.Signal) (float64, error) {
+	if sig == nil {
+		return 0, errors.New("detect: nil signal")
+	}
+	if len(window) != sig.Params().Length {
+		return 0, fmt.Errorf("detect: window length %d != signal length %d", len(window), sig.Params().Length)
+	}
+	spec, err := dsp.PowerSpectrum(window)
+	if err != nil {
+		return 0, err
+	}
+	return d.newSigSpec(sig).normPower(spec, d.cfg.Theta), nil
+}
+
+// Detect runs Algorithm 1 for a single reference signal.
+func (d *Detector) Detect(recording []float64, sig *sigref.Signal) (Result, error) {
+	results, err := d.DetectAll(recording, sig)
+	if err != nil {
+		return Result{}, err
+	}
+	return results[0], nil
+}
+
+// DetectAll locates several reference signals in one recording, sharing the
+// coarse-scan FFTs across signals — the prototype's "detect the two
+// reference signals simultaneously in one scan" optimization. All signals
+// must share Params (length and grid).
+func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Result, error) {
+	if len(sigs) == 0 {
+		return nil, errors.New("detect: no signals given")
+	}
+	for _, s := range sigs {
+		if s == nil {
+			return nil, errors.New("detect: nil signal")
+		}
+		if s.Params() != sigs[0].Params() {
+			return nil, errors.New("detect: signals have differing parameters")
+		}
+	}
+	winLen := sigs[0].Params().Length
+	if len(recording) < winLen {
+		return nil, fmt.Errorf("detect: recording %d shorter than window %d", len(recording), winLen)
+	}
+
+	specs := make([]*sigSpec, len(sigs))
+	for i, s := range sigs {
+		specs[i] = d.newSigSpec(s)
+	}
+
+	results := make([]Result, len(sigs))
+	bestIdx := make([]int, len(sigs))
+	bestPow := make([]float64, len(sigs))
+	for i := range bestPow {
+		bestPow[i] = math.Inf(-1)
+		bestIdx[i] = -1
+	}
+
+	// Coarse scan: one FFT per window, scored against every signal.
+	limit := len(recording) - winLen
+	scanned := 0
+	for i := 0; i <= limit; i += d.cfg.CoarseStep {
+		spec, err := dsp.PowerSpectrum(recording[i : i+winLen])
+		if err != nil {
+			return nil, err
+		}
+		scanned++
+		for s, ss := range specs {
+			if p := ss.normPower(spec, d.cfg.Theta); p > bestPow[s] {
+				bestPow[s], bestIdx[s] = p, i
+			}
+		}
+	}
+
+	// Fine scan per signal around its coarse argmax.
+	for s, ss := range specs {
+		results[s].WindowsScanned = scanned
+		results[s].CoarseScanned = scanned
+		if bestIdx[s] < 0 || math.IsInf(bestPow[s], -1) {
+			// Every coarse window failed the sanity checks: ⊥.
+			results[s].Power = bestPow[s]
+			results[s].Found = false
+			continue
+		}
+		lo := bestIdx[s] - d.cfg.CoarseStep
+		if lo < 0 {
+			lo = 0
+		}
+		hi := bestIdx[s] + d.cfg.CoarseStep
+		if hi > limit {
+			hi = limit
+		}
+		for i := lo; i <= hi; i += d.cfg.FineStep {
+			spec, err := dsp.PowerSpectrum(recording[i : i+winLen])
+			if err != nil {
+				return nil, err
+			}
+			results[s].WindowsScanned++
+			if p := ss.normPower(spec, d.cfg.Theta); p > bestPow[s] {
+				bestPow[s], bestIdx[s] = p, i
+			}
+		}
+		results[s].Power = bestPow[s]
+		// Absent-signal check (Algorithm 1 lines 11–14 with the
+		// prototype's ε threshold): deny when the best match is weaker
+		// than ε·R_S.
+		if bestPow[s] < ss.absentFloor {
+			results[s].Found = false
+			continue
+		}
+		results[s].Location = bestIdx[s]
+		results[s].Found = true
+	}
+	return results, nil
+}
+
+// DetectCrossCorrelation locates a reference signal using plain normalized
+// cross-correlation against the original time-domain waveform — the
+// BeepBeep-style detector the ACTION-CC baseline uses. It has no absent
+// check; it always returns the correlation argmax, which is exactly why it
+// fails under frequency smoothing (Fig. 2b).
+func (d *Detector) DetectCrossCorrelation(recording []float64, sig *sigref.Signal) (Result, error) {
+	if sig == nil {
+		return Result{}, errors.New("detect: nil signal")
+	}
+	ref := sig.Samples()
+	if len(recording) < len(ref) {
+		return Result{}, fmt.Errorf("detect: recording %d shorter than reference %d", len(recording), len(ref))
+	}
+	corr, err := dsp.CrossCorrelate(recording, ref)
+	if err != nil {
+		return Result{}, err
+	}
+	idx, val := dsp.ArgMax(corr)
+	return Result{Location: idx, Power: val, Found: true, WindowsScanned: len(corr)}, nil
+}

@@ -1,0 +1,139 @@
+// Package device models the simulated IoT endpoints of the paper's
+// prototype: each device owns a speaker, a microphone with its own sample
+// clock (offset + ppm skew), a position in the scene, and the unpredictable
+// audio-path processing delay that the paper identifies as the reason
+// one-way protocols like Echo are inaccurate on commodity hardware.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/acoustic-auth/piano/internal/simclock"
+)
+
+// ProcessingDelay models the latency between asking the audio API to play a
+// buffer and sound actually leaving the speaker. On Android this is large
+// and unpredictable (the paper measured it to be the dominant error source
+// for Echo-style protocols). Samples are Mean ± uniform Jitter.
+type ProcessingDelay struct {
+	MeanSec   float64
+	JitterSec float64
+}
+
+// Sample draws one delay realization.
+func (p ProcessingDelay) Sample(rng *rand.Rand) float64 {
+	d := p.MeanSec + (2*rng.Float64()-1)*p.JitterSec
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// DefaultProcessingDelay reflects a commodity-smartphone audio stack:
+// ~150 ms mean latency with ±60 ms jitter.
+func DefaultProcessingDelay() ProcessingDelay {
+	return ProcessingDelay{MeanSec: 0.150, JitterSec: 0.060}
+}
+
+// Config describes one simulated device.
+type Config struct {
+	// Name identifies the device in traces and errors.
+	Name string
+	// Position is the device's 2-D location in meters.
+	Position [2]float64
+	// Room identifies which room the device is in; paths between
+	// different rooms suffer the wall transmission loss.
+	Room int
+	// SampleRate is the nominal audio sampling rate (paper: 44100 Hz,
+	// "the largest sampling frequency supported by the Android system").
+	SampleRate float64
+	// ClockOffsetSec is the global time at which this device's recording
+	// starts — i.e. the origin of its private time coordinate. ACTION
+	// must work for arbitrary offsets (Eq. 3 cancels them).
+	ClockOffsetSec float64
+	// ClockSkewPPM is the crystal error of the device's audio clock.
+	ClockSkewPPM float64
+	// ProcDelay is the device's audio-path latency model.
+	ProcDelay ProcessingDelay
+	// SelfDistanceM is the acoustic distance from the device's speaker to
+	// its own microphone (a few centimeters on a phone).
+	SelfDistanceM float64
+}
+
+// Device is a simulated voice-powered IoT device.
+type Device struct {
+	cfg   Config
+	clock *simclock.Clock
+}
+
+// New validates cfg and builds a Device.
+func New(cfg Config) (*Device, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("device: name is required")
+	}
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("device %q: sample rate %g must be positive", cfg.Name, cfg.SampleRate)
+	}
+	if cfg.SelfDistanceM <= 0 {
+		cfg.SelfDistanceM = 0.03
+	}
+	clk, err := simclock.New(cfg.ClockOffsetSec, cfg.SampleRate, cfg.ClockSkewPPM)
+	if err != nil {
+		return nil, fmt.Errorf("device %q: %w", cfg.Name, err)
+	}
+	return &Device{cfg: cfg, clock: clk}, nil
+}
+
+// Name returns the device's identifier.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// Position returns the device's location in meters.
+func (d *Device) Position() [2]float64 { return d.cfg.Position }
+
+// Room returns the device's room identifier.
+func (d *Device) Room() int { return d.cfg.Room }
+
+// SampleRate returns the nominal audio sampling rate the device reports to
+// protocol code (the true ADC rate differs by the clock skew).
+func (d *Device) SampleRate() float64 { return d.cfg.SampleRate }
+
+// Clock exposes the device's private time coordinate.
+func (d *Device) Clock() *simclock.Clock { return d.clock }
+
+// ProcDelay returns the device's audio-latency model.
+func (d *Device) ProcDelay() ProcessingDelay { return d.cfg.ProcDelay }
+
+// SelfDistance returns the speaker-to-own-microphone distance in meters.
+func (d *Device) SelfDistance() float64 { return d.cfg.SelfDistanceM }
+
+// ResetClock re-anchors the device's recording origin to a new global time
+// (every authentication session starts a fresh recording). The crystal skew
+// is a hardware property and is preserved.
+func (d *Device) ResetClock(offsetSec float64) error {
+	clk, err := simclock.New(offsetSec, d.cfg.SampleRate, d.cfg.ClockSkewPPM)
+	if err != nil {
+		return fmt.Errorf("device %q: %w", d.cfg.Name, err)
+	}
+	d.clock = clk
+	d.cfg.ClockOffsetSec = offsetSec
+	return nil
+}
+
+// SetPosition moves the device (the user carrying it walked somewhere).
+func (d *Device) SetPosition(pos [2]float64) { d.cfg.Position = pos }
+
+// SetRoom moves the device to another room (e.g. behind a wall).
+func (d *Device) SetRoom(room int) { d.cfg.Room = room }
+
+// DistanceTo returns the Euclidean distance to another device in meters.
+func (d *Device) DistanceTo(o *Device) float64 {
+	dx := d.cfg.Position[0] - o.cfg.Position[0]
+	dy := d.cfg.Position[1] - o.cfg.Position[1]
+	return math.Hypot(dx, dy)
+}
+
+// SameRoom reports whether both devices share a room (no wall between).
+func (d *Device) SameRoom(o *Device) bool { return d.cfg.Room == o.cfg.Room }

@@ -1,0 +1,112 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func validConfig(name string) Config {
+	return Config{
+		Name:       name,
+		Position:   [2]float64{0, 0},
+		SampleRate: 44100,
+		ProcDelay:  DefaultProcessingDelay(),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{SampleRate: 44100}); err == nil {
+		t.Error("missing name accepted")
+	}
+	if _, err := New(Config{Name: "x", SampleRate: 0}); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+}
+
+func TestSelfDistanceDefault(t *testing.T) {
+	d, err := New(validConfig("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SelfDistance() != 0.03 {
+		t.Errorf("default self distance %g", d.SelfDistance())
+	}
+	cfg := validConfig("b")
+	cfg.SelfDistanceM = 0.05
+	d2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.SelfDistance() != 0.05 {
+		t.Errorf("explicit self distance %g", d2.SelfDistance())
+	}
+}
+
+func TestDistanceAndRoom(t *testing.T) {
+	ca := validConfig("a")
+	cb := validConfig("b")
+	cb.Position = [2]float64{3, 4}
+	cb.Room = 1
+	a, err := New(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.DistanceTo(b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("distance %g, want 5", got)
+	}
+	if got := b.DistanceTo(a); math.Abs(got-5) > 1e-12 {
+		t.Errorf("distance not symmetric: %g", got)
+	}
+	if a.SameRoom(b) {
+		t.Error("different rooms reported as same")
+	}
+	if !a.SameRoom(a) {
+		t.Error("device not in same room as itself")
+	}
+}
+
+func TestProcessingDelaySample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pd := ProcessingDelay{MeanSec: 0.1, JitterSec: 0.05}
+	for i := 0; i < 1000; i++ {
+		v := pd.Sample(rng)
+		if v < 0.05-1e-12 || v > 0.15+1e-12 {
+			t.Fatalf("sample %g outside [0.05, 0.15]", v)
+		}
+	}
+	// Never negative even with jitter > mean.
+	pd = ProcessingDelay{MeanSec: 0.01, JitterSec: 0.5}
+	for i := 0; i < 1000; i++ {
+		if pd.Sample(rng) < 0 {
+			t.Fatal("negative delay")
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	cfg := validConfig("dev")
+	cfg.Room = 7
+	cfg.ClockOffsetSec = 1.5
+	cfg.ClockSkewPPM = 25
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "dev" || d.Room() != 7 || d.SampleRate() != 44100 {
+		t.Error("accessor mismatch")
+	}
+	if d.Clock().OffsetSec != 1.5 || d.Clock().SkewPPM != 25 {
+		t.Error("clock not configured")
+	}
+	if d.ProcDelay().MeanSec != DefaultProcessingDelay().MeanSec {
+		t.Error("proc delay not stored")
+	}
+	if d.Position() != [2]float64{0, 0} {
+		t.Error("position mismatch")
+	}
+}

@@ -1,0 +1,64 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Goertzel computes the squared magnitude of a single DFT bin of x using
+// the Goertzel recurrence, normalized identically to PowerSpectrum (a
+// bin-centered sinusoid of amplitude A yields ≈ A²).
+//
+// Algorithm 2 only reads the candidate bins (30 candidates × (2θ+1) bins ≈
+// 330 of 4096), which makes Goertzel look like an attractive replacement
+// for the full FFT. BenchmarkGoertzelVsFFT shows it is not: Goertzel costs
+// O(N) per bin, so the break-even is ≈ log₂N ≈ 12 bins and the 330-bin
+// workload is ~18× slower than one 4096-point FFT. The detector therefore
+// keeps the FFT; Goertzel remains available for single-tone tasks (e.g.
+// wake-tone detection on severely constrained devices).
+func Goertzel(x []float64, bin int) (float64, error) {
+	n := len(x)
+	if n == 0 {
+		return 0, fmt.Errorf("dsp: goertzel: empty input")
+	}
+	if bin < 0 || bin >= n {
+		return 0, fmt.Errorf("dsp: goertzel: bin %d out of range [0, %d)", bin, n)
+	}
+	w := 2 * math.Pi * float64(bin) / float64(n)
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// |X[k]|² = s1² + s2² − coeff·s1·s2
+	mag2 := s1*s1 + s2*s2 - coeff*s1*s2
+	norm := 2 / float64(n)
+	return mag2 * norm * norm, nil
+}
+
+// GoertzelBand sums Goertzel powers over bins [center−theta, center+theta],
+// clamped to the valid range — the drop-in counterpart of BandPower.
+func GoertzelBand(x []float64, center, theta int) (float64, error) {
+	if len(x) == 0 {
+		return 0, fmt.Errorf("dsp: goertzel band: empty input")
+	}
+	lo := center - theta
+	if lo < 0 {
+		lo = 0
+	}
+	hi := center + theta
+	if hi > len(x)-1 {
+		hi = len(x) - 1
+	}
+	var sum float64
+	for k := lo; k <= hi; k++ {
+		p, err := Goertzel(x, k)
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+	}
+	return sum, nil
+}

@@ -1,0 +1,137 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoertzelMatchesPowerSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	const n = 1024
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 100
+	}
+	spec, err := PowerSpectrum(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bin := range []int{0, 1, 17, 300, 511, 512, 700, 1023} {
+		got, err := Goertzel(x, bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := spec[bin]
+		if math.Abs(got-want) > 1e-6*(want+1) {
+			t.Errorf("bin %d: goertzel %g vs fft %g", bin, got, want)
+		}
+	}
+}
+
+func TestGoertzelMatchesPowerSpectrumProperty(t *testing.T) {
+	f := func(seed int64, binRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 256
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		bin := int(binRaw) % n
+		spec, err := PowerSpectrum(x)
+		if err != nil {
+			return false
+		}
+		got, err := Goertzel(x, bin)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-spec[bin]) < 1e-7*(spec[bin]+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoertzelBandMatchesBandPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 512
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	spec, err := PowerSpectrum(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, center := range []int{0, 5, 250, 511} {
+		want := BandPower(spec, center, 5)
+		got, err := GoertzelBand(x, center, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-7*(want+1) {
+			t.Errorf("center %d: %g vs %g", center, got, want)
+		}
+	}
+}
+
+func TestGoertzelErrors(t *testing.T) {
+	if _, err := Goertzel(nil, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Goertzel([]float64{1, 2}, 2); err == nil {
+		t.Error("out-of-range bin accepted")
+	}
+	if _, err := Goertzel([]float64{1, 2}, -1); err == nil {
+		t.Error("negative bin accepted")
+	}
+	if _, err := GoertzelBand(nil, 0, 1); err == nil {
+		t.Error("empty band input accepted")
+	}
+}
+
+func BenchmarkGoertzelVsFFT(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// The detector reads 30 candidates × 11 bins each.
+	bins := make([]int, 0, 330)
+	for c := 0; c < 30; c++ {
+		center := 2337 + 31*c
+		for k := center - 5; k <= center+5; k++ {
+			bins = append(bins, k)
+		}
+	}
+	b.Run("fft-full-spectrum", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spec, err := PowerSpectrum(x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sum float64
+			for _, bin := range bins {
+				sum += spec[bin]
+			}
+			_ = sum
+		}
+	})
+	b.Run("goertzel-candidate-bins", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var sum float64
+			for _, bin := range bins {
+				p, err := Goertzel(x, bin)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += p
+			}
+			_ = sum
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// PowerSpectrum computes the normalized power spectrum of a real-valued
+// window, returning one power value per FFT bin over the full transform
+// length (not folded at Nyquist).
+//
+// The normalization is chosen so that a sinusoid of amplitude A centered on
+// bin k contributes power ≈ A² at bin k (and at its conjugate bin N−k).
+// This matches the paper's parameterization where a reference sinusoid of
+// time-domain amplitude 32000/n has R_f = (32000/n)².
+//
+// Returning the full-length spectrum matters for PIANO: the candidate
+// frequencies live in [25 kHz, 35 kHz] while the sampling rate is 44.1 kHz,
+// so the bin index ⌊f/fs·N⌋ used by Algorithm 2 lands above Nyquist — on the
+// conjugate bin of the aliased component — which carries exactly the power
+// of the (aliased) sinusoid. Folding the spectrum would break that indexing.
+func PowerSpectrum(w []float64) ([]float64, error) {
+	spec, err := FFTReal(w)
+	if err != nil {
+		return nil, fmt.Errorf("dsp: power spectrum: %w", err)
+	}
+	n := float64(len(w))
+	out := make([]float64, len(spec))
+	for i, c := range spec {
+		mag := 2 * math.Hypot(real(c), imag(c)) / n
+		out[i] = mag * mag
+	}
+	return out, nil
+}
+
+// BinIndex returns the power-spectrum bin index the paper's Algorithm 2
+// (line 4) uses for frequency f: ⌊f/fs · N⌋ where N is the window length.
+func BinIndex(freqHz, sampleRate float64, windowLen int) int {
+	return int(freqHz / sampleRate * float64(windowLen))
+}
+
+// BandPower sums spectrum power over bins [center−theta, center+theta],
+// clamped to the valid range. This implements the θ-wide aggregation of
+// Algorithm 2 (line 5) that absorbs the frequency-smoothing effect.
+func BandPower(spectrum []float64, center, theta int) float64 {
+	lo := center - theta
+	if lo < 0 {
+		lo = 0
+	}
+	hi := center + theta
+	if hi > len(spectrum)-1 {
+		hi = len(spectrum) - 1
+	}
+	var sum float64
+	for k := lo; k <= hi; k++ {
+		sum += spectrum[k]
+	}
+	return sum
+}
+
+// TotalPower returns the mean squared sample value of w (time-domain signal
+// power), used for calibration and diagnostics.
+func TotalPower(w []float64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v * v
+	}
+	return sum / float64(len(w))
+}

@@ -1,0 +1,59 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadSampleRate is returned when a non-positive sampling rate is supplied.
+var ErrBadSampleRate = errors.New("dsp: sample rate must be positive")
+
+// Sine synthesizes length samples of amplitude·sin(2π·freq·t + phase) at the
+// given sampling rate. Frequencies above Nyquist alias exactly as they would
+// through a real ADC, which is the behaviour PIANO relies on (25–35 kHz
+// references sampled at 44.1 kHz).
+func Sine(freqHz, amplitude, phase, sampleRate float64, length int) ([]float64, error) {
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("dsp: sine at %g Hz: %w", freqHz, ErrBadSampleRate)
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("dsp: sine length %d must be non-negative", length)
+	}
+	out := make([]float64, length)
+	w := 2 * math.Pi * freqHz / sampleRate
+	for i := range out {
+		out[i] = amplitude * math.Sin(w*float64(i)+phase)
+	}
+	return out, nil
+}
+
+// AddInto accumulates src into dst element-wise. The slices must have the
+// same length.
+func AddInto(dst, src []float64) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("dsp: add: length mismatch %d vs %d", len(dst), len(src))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return nil
+}
+
+// Scale multiplies every sample of x by g in place.
+func Scale(x []float64, g float64) {
+	for i := range x {
+		x[i] *= g
+	}
+}
+
+// PeakAbs returns the maximum absolute sample value of x.
+func PeakAbs(x []float64) float64 {
+	var peak float64
+	for _, v := range x {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	return peak
+}

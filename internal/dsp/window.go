@@ -1,0 +1,30 @@
+package dsp
+
+import "math"
+
+// Hann returns an n-point Hann window. Windowing is used by the acoustic
+// simulator's noise shaping and by diagnostics; the paper's detector uses
+// rectangular windows (raw sample windows), matching Algorithm 2.
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// ApplyWindow multiplies x by window w element-wise in place. Extra window
+// values are ignored; a short window leaves the tail of x untouched.
+func ApplyWindow(x, w []float64) {
+	n := len(x)
+	if len(w) < n {
+		n = len(w)
+	}
+	for i := 0; i < n; i++ {
+		x[i] *= w[i]
+	}
+}

@@ -1,0 +1,67 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// CrossCorrelate computes the normalized cross-correlation of the reference
+// signal ref against every alignment in the longer sequence x, returning one
+// coefficient per starting index (len(x)-len(ref)+1 values).
+//
+// This is the classical detector used by BeepBeep and by the ACTION-CC
+// baseline of the paper's Fig. 2(b). PIANO itself does not use it — the
+// whole point of the frequency-based detector is that cross-correlation
+// collapses under the channel's frequency smoothing.
+func CrossCorrelate(x, ref []float64) ([]float64, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("dsp: cross-correlate: empty reference")
+	}
+	if len(x) < len(ref) {
+		return nil, fmt.Errorf("dsp: cross-correlate: sequence (%d) shorter than reference (%d)", len(x), len(ref))
+	}
+
+	var refEnergy float64
+	for _, v := range ref {
+		refEnergy += v * v
+	}
+	refNorm := math.Sqrt(refEnergy)
+
+	n := len(x) - len(ref) + 1
+	out := make([]float64, n)
+
+	// Sliding window energy of x, maintained incrementally.
+	var winEnergy float64
+	for i := 0; i < len(ref); i++ {
+		winEnergy += x[i] * x[i]
+	}
+	for i := 0; i < n; i++ {
+		var dot float64
+		for j, r := range ref {
+			dot += x[i+j] * r
+		}
+		denom := refNorm * math.Sqrt(winEnergy)
+		if denom > 0 {
+			out[i] = dot / denom
+		}
+		if i+1 < n {
+			winEnergy += x[i+len(ref)]*x[i+len(ref)] - x[i]*x[i]
+			if winEnergy < 0 {
+				winEnergy = 0 // guard against accumulated rounding
+			}
+		}
+	}
+	return out, nil
+}
+
+// ArgMax returns the index of the maximum value in x and the value itself.
+// It returns (-1, -Inf) for an empty slice.
+func ArgMax(x []float64) (int, float64) {
+	best, bestIdx := math.Inf(-1), -1
+	for i, v := range x {
+		if v > best {
+			best, bestIdx = v, i
+		}
+	}
+	return bestIdx, best
+}

@@ -1,0 +1,113 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCrossCorrelateFindsCleanEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ref := make([]float64, 256)
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	x := make([]float64, 2048)
+	for i := range x {
+		x[i] = 0.01 * rng.NormFloat64()
+	}
+	const at = 700
+	for i, v := range ref {
+		x[at+i] += v
+	}
+	corr, err := CrossCorrelate(x, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, val := ArgMax(corr)
+	if idx != at {
+		t.Fatalf("peak at %d, want %d", idx, at)
+	}
+	if val < 0.9 {
+		t.Fatalf("peak correlation %g too low", val)
+	}
+}
+
+func TestCrossCorrelateErrors(t *testing.T) {
+	if _, err := CrossCorrelate([]float64{1, 2}, nil); err == nil {
+		t.Error("empty reference accepted")
+	}
+	if _, err := CrossCorrelate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("reference longer than sequence accepted")
+	}
+}
+
+func TestCrossCorrelatePeakIsNormalized(t *testing.T) {
+	ref := []float64{1, -1, 1, -1}
+	x := make([]float64, 32)
+	copy(x[10:], ref)
+	corr, err := CrossCorrelate(x, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, val := ArgMax(corr)
+	if math.Abs(val-1) > 1e-9 {
+		t.Fatalf("self-match correlation = %g, want 1", val)
+	}
+}
+
+func TestArgMaxEmpty(t *testing.T) {
+	idx, val := ArgMax(nil)
+	if idx != -1 || !math.IsInf(val, -1) {
+		t.Fatalf("ArgMax(nil) = %d, %g", idx, val)
+	}
+}
+
+func TestSineErrors(t *testing.T) {
+	if _, err := Sine(1000, 1, 0, 0, 10); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	if _, err := Sine(1000, 1, 0, 44100, -1); err == nil {
+		t.Error("negative length accepted")
+	}
+}
+
+func TestAddIntoAndScale(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	if err := AddInto(dst, []float64{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 2 || dst[2] != 4 {
+		t.Fatalf("AddInto result %v", dst)
+	}
+	if err := AddInto(dst, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	Scale(dst, 2)
+	if dst[0] != 4 {
+		t.Fatalf("Scale result %v", dst)
+	}
+	if got := PeakAbs([]float64{-5, 3}); got != 5 {
+		t.Fatalf("PeakAbs = %g", got)
+	}
+}
+
+func TestHannWindow(t *testing.T) {
+	w := Hann(1)
+	if w[0] != 1 {
+		t.Fatalf("Hann(1) = %v", w)
+	}
+	w = Hann(64)
+	if math.Abs(w[0]) > 1e-12 || math.Abs(w[63]) > 1e-12 {
+		t.Fatalf("Hann endpoints %g %g", w[0], w[63])
+	}
+	mid := w[31] + w[32]
+	if mid < 1.9 {
+		t.Fatalf("Hann midpoint sum %g", mid)
+	}
+	x := []float64{2, 2, 2}
+	ApplyWindow(x, []float64{0.5, 0.5})
+	if x[0] != 1 || x[2] != 2 {
+		t.Fatalf("ApplyWindow result %v", x)
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/acoustic-auth/piano/internal/acoustic"
+	"github.com/acoustic-auth/piano/internal/core"
+	"github.com/acoustic-auth/piano/internal/energy"
+	"github.com/acoustic-auth/piano/internal/stats"
+)
+
+// EfficiencyResult reproduces §VI-D: per-authentication latency and the
+// battery cost of 100 authentications.
+type EfficiencyResult struct {
+	Trials int
+	// MeanAuthSec / MaxAuthSec are the modeled wall-clock latency.
+	MeanAuthSec float64
+	MaxAuthSec  float64
+	// MeanEnergyJ is energy per authentication.
+	MeanEnergyJ float64
+	// BatteryPercentPer100 is the headline number (paper: ≈0.6%).
+	BatteryPercentPer100 float64
+	// Breakdown is the per-component energy split.
+	Breakdown string
+}
+
+// RunEfficiency measures timing and energy over Options.Trials
+// authentications at 1 m in the office.
+func RunEfficiency(opts Options) (*EfficiencyResult, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed + 53))
+	cfg := envConfig(acoustic.EnvOffice)
+
+	auth, vouch, err := newDevicePair(1.0, true, rng)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.NewAuthenticator(cfg, auth, vouch, rng)
+	if err != nil {
+		return nil, err
+	}
+	ledger, err := energy.NewLedger(energy.DefaultPowerModel())
+	if err != nil {
+		return nil, err
+	}
+	battery, err := energy.NewBattery(energy.GalaxyS4CapacityJoules)
+	if err != nil {
+		return nil, err
+	}
+	a.TrackEnergy(ledger, battery)
+
+	var times []float64
+	for t := 0; t < opts.Trials; t++ {
+		sr, err := a.Measure()
+		if err != nil {
+			return nil, err
+		}
+		times = append(times, sr.AuthTimeSec)
+	}
+	if len(times) == 0 {
+		return nil, errNoTrials
+	}
+
+	maxT := times[0]
+	for _, v := range times {
+		if v > maxT {
+			maxT = v
+		}
+	}
+	meanJ := ledger.TotalJoules() / float64(len(times))
+	return &EfficiencyResult{
+		Trials:               len(times),
+		MeanAuthSec:          stats.Mean(times),
+		MaxAuthSec:           maxT,
+		MeanEnergyJ:          meanJ,
+		BatteryPercentPer100: meanJ * 100 / energy.GalaxyS4CapacityJoules * 100,
+		Breakdown:            ledger.Breakdown(),
+	}, nil
+}
+
+// FprintEfficiency renders the §VI-D comparison.
+func FprintEfficiency(w io.Writer, res *EfficiencyResult) {
+	fmt.Fprintln(w, "Efficiency (§VI-D):")
+	fmt.Fprintf(w, "  authentication latency: mean %.2f s, max %.2f s  (paper: within ≈3 s)\n",
+		res.MeanAuthSec, res.MaxAuthSec)
+	fmt.Fprintf(w, "  energy per authentication: %.2f J (%s)\n", res.MeanEnergyJ, res.Breakdown)
+	fmt.Fprintf(w, "  battery per 100 authentications: %.2f%%  (paper: ≈0.6%%)\n", res.BatteryPercentPer100)
+}

@@ -1,0 +1,99 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI). Each runner returns structured results; Fprint helpers
+// render them in the paper's units so the output can be compared row by
+// row against the published numbers (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/acoustic-auth/piano/internal/acoustic"
+	"github.com/acoustic-auth/piano/internal/core"
+	"github.com/acoustic-auth/piano/internal/device"
+)
+
+// PaperDistances are the four true distances evaluated throughout §VI-B.
+var PaperDistances = []float64{0.5, 1.0, 1.5, 2.0}
+
+// PaperThresholds are the τ columns of Tables I and II.
+var PaperThresholds = []float64{0.5, 1.0, 1.5, 2.0}
+
+// Options configures an experiment run.
+type Options struct {
+	// Trials per measurement point. The paper uses 10; tests may use
+	// fewer for speed. Defaults to 10 when zero.
+	Trials int
+	// Seed drives all randomness for reproducibility. Defaults to 1.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials <= 0 {
+		o.Trials = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// newDevicePair builds the canonical experiment pair: the authenticating
+// device at the origin and the vouching device at (distM, 0), with
+// realistic distinct crystal skews drawn from rng.
+func newDevicePair(distM float64, sameRoom bool, rng *rand.Rand) (*device.Device, *device.Device, error) {
+	vouchRoom := 0
+	if !sameRoom {
+		vouchRoom = 1
+	}
+	auth, err := device.New(device.Config{
+		Name:         "auth",
+		Position:     [2]float64{0, 0},
+		Room:         0,
+		SampleRate:   44100,
+		ClockSkewPPM: rng.NormFloat64() * 20,
+		ProcDelay:    device.DefaultProcessingDelay(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	vouch, err := device.New(device.Config{
+		Name:         "vouch",
+		Position:     [2]float64{distM, 0},
+		Room:         vouchRoom,
+		SampleRate:   44100,
+		ClockSkewPPM: rng.NormFloat64() * 20,
+		ProcDelay:    device.DefaultProcessingDelay(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return auth, vouch, nil
+}
+
+// envConfig returns the deployment config for one environment.
+func envConfig(env acoustic.Environment) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.World.Environment = env
+	return cfg
+}
+
+// errNoTrials guards against empty result aggregation.
+var errNoTrials = errors.New("experiments: no successful trials")
+
+// scenarioName maps an environment to the row label used in Tables I/II.
+func scenarioName(env acoustic.Environment) string {
+	switch env {
+	case acoustic.EnvOffice:
+		return "Office"
+	case acoustic.EnvHome:
+		return "Home"
+	case acoustic.EnvStreet:
+		return "Street"
+	case acoustic.EnvRestaurant:
+		return "Restaurant"
+	default:
+		return fmt.Sprintf("%v", env)
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/acoustic-auth/piano/internal/acoustic"
+	"github.com/acoustic-auth/piano/internal/core"
+	"github.com/acoustic-auth/piano/internal/stats"
+)
+
+// DistancePoint aggregates the trials at one true distance.
+type DistancePoint struct {
+	DistanceM float64
+	// MeanAbsErrCM / StdAbsErrCM are the error-bar statistics the paper
+	// plots in Fig. 1 (mean and std of the absolute error, centimeters).
+	MeanAbsErrCM float64
+	StdAbsErrCM  float64
+	// MeanSignedErrCM and SigmaCM describe the signed-error distribution
+	// (σ_d feeds the §VI-C decision model).
+	MeanSignedErrCM float64
+	SigmaCM         float64
+	// Absent counts trials where ACTION returned ⊥.
+	Absent int
+	// Trials is the attempted trial count.
+	Trials int
+}
+
+// EnvironmentResult is one panel of Fig. 1 (or the Fig. 2a panel).
+type EnvironmentResult struct {
+	Env    acoustic.Environment
+	Label  string
+	Points []DistancePoint
+	// SigmaM is σ_d in meters: the per-point signed-error stds averaged
+	// over the four points, exactly as §VI-C estimates it.
+	SigmaM float64
+}
+
+// measureSeries runs trials×len(distances) ACTION measurements in one
+// environment, optionally injecting extra plays built per trial.
+func measureSeries(
+	cfg core.Config,
+	distances []float64,
+	trials int,
+	rng *rand.Rand,
+	extrasFor func(trial int) ([]core.ExtraPlay, error),
+) ([]DistancePoint, error) {
+	points := make([]DistancePoint, 0, len(distances))
+	for _, d := range distances {
+		auth, vouch, err := newDevicePair(d, true, rng)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.NewAuthenticator(cfg, auth, vouch, rng)
+		if err != nil {
+			return nil, err
+		}
+		var absErrs, signed []float64
+		absent := 0
+		for trial := 0; trial < trials; trial++ {
+			var extras []core.ExtraPlay
+			if extrasFor != nil {
+				extras, err = extrasFor(trial)
+				if err != nil {
+					return nil, err
+				}
+			}
+			sr, err := a.Measure(extras...)
+			if err != nil {
+				return nil, err
+			}
+			if !sr.Found {
+				absent++
+				continue
+			}
+			errM := sr.DistanceM - d
+			signed = append(signed, errM*100)
+			if errM < 0 {
+				errM = -errM
+			}
+			absErrs = append(absErrs, errM*100)
+		}
+		pt := DistancePoint{DistanceM: d, Absent: absent, Trials: trials}
+		if len(absErrs) > 0 {
+			pt.MeanAbsErrCM = stats.Mean(absErrs)
+			pt.StdAbsErrCM = stats.Std(absErrs)
+			pt.MeanSignedErrCM = stats.Mean(signed)
+			pt.SigmaCM = stats.Std(signed)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// sigmaOf averages the per-point signed-error stds (meters).
+func sigmaOf(points []DistancePoint) float64 {
+	var sum float64
+	var n int
+	for _, p := range points {
+		if p.Trials-p.Absent >= 2 {
+			sum += p.SigmaCM / 100
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RunFig1 reproduces Fig. 1: distance-estimation absolute errors at
+// {0.5, 1.0, 1.5, 2.0} m in the office, home, street, and restaurant
+// environments, averaged over Options.Trials trials each.
+func RunFig1(opts Options) ([]EnvironmentResult, error) {
+	opts = opts.withDefaults()
+	results := make([]EnvironmentResult, 0, 4)
+	for i, env := range acoustic.AllEnvironments() {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(i)*7919))
+		points, err := measureSeries(envConfig(env), PaperDistances, opts.Trials, rng, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig1 %v: %w", env, err)
+		}
+		results = append(results, EnvironmentResult{
+			Env:    env,
+			Label:  scenarioName(env),
+			Points: points,
+			SigmaM: sigmaOf(points),
+		})
+	}
+	return results, nil
+}
+
+// FprintFig1 renders Fig. 1 as one row per (environment, distance), with
+// the paper's measured bands alongside for comparison.
+func FprintFig1(w io.Writer, results []EnvironmentResult) {
+	fmt.Fprintln(w, "Figure 1: distance estimation absolute error (cm), mean ± std over trials")
+	for _, env := range results {
+		fmt.Fprintf(w, "  %s:\n", env.Label)
+		for _, p := range env.Points {
+			fmt.Fprintf(w, "    d=%.1fm  abs err %6.2f ± %5.2f cm   (signed mean %+.2f, σ_d %.2f cm, ⊥ %d/%d)\n",
+				p.DistanceM, p.MeanAbsErrCM, p.StdAbsErrCM, p.MeanSignedErrCM, p.SigmaCM, p.Absent, p.Trials)
+		}
+		fmt.Fprintf(w, "    σ_d(avg) = %.1f cm\n", env.SigmaM*100)
+	}
+	fmt.Fprintln(w, "  Paper bands: office ≈5–7 cm, home/restaurant in between, street ≈10–15 cm")
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/acoustic-auth/piano/internal/stats"
+)
+
+// TableRow is one scenario row of Tables I and II.
+type TableRow struct {
+	Scenario string
+	SigmaM   float64
+	FRR      []float64 // one per PaperThresholds entry
+	FAR      []float64
+}
+
+// TablesResult bundles both tables plus the σ_d estimates they derive from.
+type TablesResult struct {
+	Rows       []TableRow
+	Thresholds []float64
+}
+
+// MaxDetectableM is d_s, the maximum distance at which reference signals
+// remain detectable ("with our current parameter setting, we have
+// d_s ≈ 2.5 meters").
+const MaxDetectableM = 2.5
+
+// BTRangeM is the Bluetooth range bound used by the decision model.
+const BTRangeM = 10.0
+
+// BuildTables converts measured σ_d values into the §VI-C Gaussian
+// decision model and evaluates FRR/FAR at the paper's thresholds.
+func BuildTables(envs []EnvironmentResult) (*TablesResult, error) {
+	out := &TablesResult{Thresholds: PaperThresholds}
+	for _, env := range envs {
+		if env.SigmaM <= 0 {
+			return nil, fmt.Errorf("experiments: scenario %q has no σ estimate", env.Label)
+		}
+		m := stats.DecisionModel{SigmaM: env.SigmaM, MaxDetectableM: MaxDetectableM, BTRangeM: BTRangeM}
+		row := TableRow{Scenario: env.Label, SigmaM: env.SigmaM}
+		for _, tau := range PaperThresholds {
+			frr, err := m.FRR(tau)
+			if err != nil {
+				return nil, err
+			}
+			far, err := m.FAR(tau)
+			if err != nil {
+				return nil, err
+			}
+			row.FRR = append(row.FRR, frr)
+			row.FAR = append(row.FAR, far)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RunTables reproduces Tables I and II end to end: measure σ_d in the four
+// environments (Fig. 1 workload) and the multi-user scenario (Fig. 2a
+// workload), then evaluate the decision model.
+func RunTables(opts Options) (*TablesResult, error) {
+	envs, err := RunFig1(opts)
+	if err != nil {
+		return nil, err
+	}
+	multi, err := RunFig2a(opts)
+	if err != nil {
+		return nil, err
+	}
+	return BuildTables(append(envs, multi))
+}
+
+// paperFRR/paperFAR are the published Table I/II values for side-by-side
+// printing (percent).
+var (
+	paperFRR = map[string][]float64{
+		"Office":         {5.6, 2.8, 1.9, 1.4},
+		"Home":           {9.5, 4.8, 3.2, 2.4},
+		"Street":         {12.6, 6.3, 4.2, 3.1},
+		"Restaurant":     {8.5, 4.2, 2.8, 2.1},
+		"Multiple users": {7.9, 4.0, 2.6, 2.0},
+	}
+	paperFAR = map[string][]float64{
+		"Office":         {0.3, 0.3, 0.3, 0.4},
+		"Home":           {0.5, 0.5, 0.6, 0.6},
+		"Street":         {0.7, 0.7, 0.7, 0.8},
+		"Restaurant":     {0.4, 0.5, 0.4, 0.4},
+		"Multiple users": {0.4, 0.4, 0.5, 0.5},
+	}
+)
+
+// FprintTables renders both tables with the paper's values alongside.
+func FprintTables(w io.Writer, res *TablesResult) {
+	printOne := func(title string, pick func(TableRow) []float64, paper map[string][]float64) {
+		fmt.Fprintf(w, "%s (percent; measured | paper)\n", title)
+		fmt.Fprintf(w, "  %-16s", "scenario")
+		for _, tau := range res.Thresholds {
+			fmt.Fprintf(w, "  τ=%.1fm          ", tau)
+		}
+		fmt.Fprintln(w)
+		for _, row := range res.Rows {
+			fmt.Fprintf(w, "  %-16s", row.Scenario)
+			pub := paper[row.Scenario]
+			for i := range res.Thresholds {
+				p := "   - "
+				if i < len(pub) {
+					p = fmt.Sprintf("%5.1f", pub[i])
+				}
+				fmt.Fprintf(w, "  %5.2f |%s   ", pick(row)[i]*100, p)
+			}
+			fmt.Fprintf(w, "  (σ=%.1fcm)\n", row.SigmaM*100)
+		}
+	}
+	printOne("Table I: FRRs", func(r TableRow) []float64 { return r.FRR }, paperFRR)
+	printOne("Table II: FARs", func(r TableRow) []float64 { return r.FAR }, paperFAR)
+	fmt.Fprintln(w, "  FAR is exactly 0 beyond the 10 m Bluetooth range (pairing check).")
+}

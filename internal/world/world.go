@@ -1,0 +1,177 @@
+// Package world renders the shared acoustic scene: every scheduled speaker
+// playback propagates through the channel model to every microphone, then
+// each device's recording is quantized to the int16 PCM its detector sees.
+// This is the simulation substitute for the paper's physical testbed.
+package world
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/acoustic-auth/piano/internal/acoustic"
+	"github.com/acoustic-auth/piano/internal/audio"
+	"github.com/acoustic-auth/piano/internal/device"
+)
+
+// Config describes the scene-wide simulation parameters.
+type Config struct {
+	// SampleRate is the nominal scene sampling rate (44100 Hz).
+	SampleRate float64
+	// DurationSec is how long every device records.
+	DurationSec float64
+	// Environment selects the ambient-noise profile.
+	Environment acoustic.Environment
+	// Channel holds the physical channel constants.
+	Channel acoustic.ChannelConfig
+}
+
+// DefaultConfig returns a 1.2 s office scene at 44.1 kHz.
+func DefaultConfig() Config {
+	return Config{
+		SampleRate:  44100,
+		DurationSec: 1.2,
+		Environment: acoustic.EnvOffice,
+		Channel:     acoustic.DefaultChannelConfig(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SampleRate <= 0 {
+		return errors.New("world: sample rate must be positive")
+	}
+	if c.DurationSec <= 0 {
+		return errors.New("world: duration must be positive")
+	}
+	return c.Channel.Validate()
+}
+
+// playEvent is one scheduled speaker emission.
+type playEvent struct {
+	src      *device.Device
+	samples  []float64
+	startSec float64 // global time sound leaves the speaker
+}
+
+// World is a single acoustic scene.
+type World struct {
+	cfg     Config
+	profile acoustic.Profile
+	rng     *rand.Rand
+	devices []*device.Device
+	plays   []playEvent
+}
+
+// New builds a scene. The rng drives noise, reflection geometry, and any
+// randomness in scheduled interference; callers seed it for reproducible
+// experiments.
+func New(cfg Config, rng *rand.Rand) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("world: nil rng")
+	}
+	return &World{
+		cfg:     cfg,
+		profile: acoustic.ProfileFor(cfg.Environment),
+		rng:     rng,
+		devices: nil,
+		plays:   nil,
+	}, nil
+}
+
+// Config returns the scene configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// AddDevice registers a device in the scene. Its microphone records for the
+// scene duration starting at its own clock offset.
+func (w *World) AddDevice(d *device.Device) error {
+	if d == nil {
+		return errors.New("world: nil device")
+	}
+	for _, existing := range w.devices {
+		if existing == d {
+			return fmt.Errorf("world: device %q already added", d.Name())
+		}
+	}
+	w.devices = append(w.devices, d)
+	return nil
+}
+
+// SchedulePlay queues samples to leave src's speaker at the given global
+// time. The samples are in int16 amplitude scale.
+func (w *World) SchedulePlay(src *device.Device, samples []float64, globalStartSec float64) error {
+	if src == nil {
+		return errors.New("world: nil source device")
+	}
+	found := false
+	for _, d := range w.devices {
+		if d == src {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("world: device %q not in scene", src.Name())
+	}
+	cp := make([]float64, len(samples))
+	copy(cp, samples)
+	w.plays = append(w.plays, playEvent{src: src, samples: cp, startSec: globalStartSec})
+	return nil
+}
+
+// Render produces each device's recording: the superposition of every
+// scheduled play propagated through a freshly drawn channel realization,
+// plus the environment's ambient noise, quantized once to int16.
+func (w *World) Render() (map[*device.Device]*audio.Buffer, error) {
+	out := make(map[*device.Device]*audio.Buffer, len(w.devices))
+	for _, dst := range w.devices {
+		rec, err := w.renderFor(dst)
+		if err != nil {
+			return nil, fmt.Errorf("world: render for %q: %w", dst.Name(), err)
+		}
+		out[dst] = rec
+	}
+	return out, nil
+}
+
+// renderFor computes one microphone's recording.
+func (w *World) renderFor(dst *device.Device) (*audio.Buffer, error) {
+	n := int(w.cfg.DurationSec * dst.Clock().TrueRate())
+	acc := make([]float64, n)
+
+	for _, play := range w.plays {
+		distance := play.src.DistanceTo(dst)
+		sameRoom := play.src.SameRoom(dst)
+		if play.src == dst {
+			distance = dst.SelfDistance()
+			sameRoom = true
+		}
+		path, err := acoustic.NewPath(w.cfg.Channel, w.profile, distance, sameRoom, w.cfg.SampleRate, w.rng)
+		if err != nil {
+			return nil, err
+		}
+		dispersed := acoustic.ApplyAllpass(play.samples, path.AllpassCoeffs)
+		for _, tap := range path.Taps {
+			delaySec := (path.BaseDelaySamples + tap.DelaySamples) / w.cfg.SampleRate
+			arrival := dst.Clock().SampleAt(play.startSec + delaySec)
+			scaled := make([]float64, len(dispersed))
+			for i, v := range dispersed {
+				scaled[i] = v * tap.Gain
+			}
+			audio.MixFloatSinc(acc, scaled, arrival)
+		}
+	}
+
+	noise, err := w.profile.GenerateNoise(dst.Clock().TrueRate(), n, w.rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := range acc {
+		acc[i] += noise[i]
+	}
+
+	return &audio.Buffer{SampleRate: dst.SampleRate(), Samples: audio.FromFloat(acc)}, nil
+}

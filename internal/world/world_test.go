@@ -1,0 +1,260 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/acoustic-auth/piano/internal/acoustic"
+	"github.com/acoustic-auth/piano/internal/device"
+	"github.com/acoustic-auth/piano/internal/dsp"
+)
+
+func newDevice(t *testing.T, name string, pos [2]float64, room int, offset float64) *device.Device {
+	t.Helper()
+	d, err := device.New(device.Config{
+		Name:           name,
+		Position:       pos,
+		Room:           room,
+		SampleRate:     44100,
+		ClockOffsetSec: offset,
+		ProcDelay:      device.DefaultProcessingDelay(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func quietWorld(t *testing.T, dur float64) *World {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Environment = acoustic.EnvQuiet
+	cfg.DurationSec = dur
+	w, err := New(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampleRate = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero rate accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.DurationSec = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero duration accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Channel.RefGain = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad channel accepted")
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestAddDeviceDuplicates(t *testing.T) {
+	w := quietWorld(t, 0.2)
+	d := newDevice(t, "a", [2]float64{0, 0}, 0, 0)
+	if err := w.AddDevice(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddDevice(d); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := w.AddDevice(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestSchedulePlayRequiresMembership(t *testing.T) {
+	w := quietWorld(t, 0.2)
+	d := newDevice(t, "a", [2]float64{0, 0}, 0, 0)
+	if err := w.SchedulePlay(d, []float64{1}, 0); err == nil {
+		t.Error("non-member accepted")
+	}
+	if err := w.SchedulePlay(nil, []float64{1}, 0); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+// TestRenderPropagationDelay plants an impulse-like tone and verifies the
+// receiving device records it delayed by distance/343 seconds and
+// attenuated by the channel gain.
+func TestRenderPropagationDelay(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Environment = acoustic.EnvQuiet
+	cfg.DurationSec = 0.5
+	cfg.Channel.TransducerTaps = 0
+	w, err := New(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newDevice(t, "src", [2]float64{0, 0}, 0, 0)
+	dst := newDevice(t, "dst", [2]float64{1.0, 0}, 0, 0)
+	if err := w.AddDevice(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddDevice(dst); err != nil {
+		t.Fatal(err)
+	}
+
+	// A 1000-sample tone burst leaving at t=0.1 s.
+	tone, err := dsp.Sine(10000, 10000, 0, 44100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SchedulePlay(src, tone, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := w.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := recs[dst].Float()
+	// Expected arrival: (0.1 + 1/343)·44100 ≈ 4538.6 samples. The
+	// windowed-sinc fractional delay pre-rings by a few low-amplitude
+	// samples, so threshold at a substantial fraction of the peak.
+	wantArrival := (0.1 + 1.0/acoustic.SpeedOfSoundMPS) * 44100
+	first := -1
+	for i, v := range rec {
+		if math.Abs(v) > 2000 {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		t.Fatal("tone never arrived")
+	}
+	if math.Abs(float64(first)-wantArrival) > 6 {
+		t.Fatalf("arrival at %d, want ≈%g", first, wantArrival)
+	}
+
+	// Amplitude ≈ gain(1 m)·10000 = 0.5·10000.
+	peak := dsp.PeakAbs(rec[first : first+1000])
+	wantPeak := cfg.Channel.Gain(1.0) * 10000
+	if peak < 0.6*wantPeak || peak > 1.6*wantPeak {
+		t.Fatalf("peak %g, want ≈%g", peak, wantPeak)
+	}
+
+	// The source's own recording starts earlier (self distance) and is
+	// louder (clamped gain).
+	srcRec := recs[src].Float()
+	srcFirst := -1
+	for i, v := range srcRec {
+		if math.Abs(v) > 100 {
+			srcFirst = i
+			break
+		}
+	}
+	if srcFirst < 0 || srcFirst >= first {
+		t.Fatalf("self arrival %d not before remote %d", srcFirst, first)
+	}
+}
+
+// TestRenderClockOffsetShiftsArrival verifies recordings are in each
+// device's private time coordinate.
+func TestRenderClockOffsetShiftsArrival(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Environment = acoustic.EnvQuiet
+	cfg.DurationSec = 0.5
+	w, err := New(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newDevice(t, "src", [2]float64{0, 0}, 0, 0)
+	late := newDevice(t, "late", [2]float64{1, 0}, 0, 0.2) // starts recording at t=0.2
+	if err := w.AddDevice(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddDevice(late); err != nil {
+		t.Fatal(err)
+	}
+	tone, err := dsp.Sine(10000, 10000, 0, 44100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SchedulePlay(src, tone, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := w.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recs[late].Float()
+	first := -1
+	for i, v := range rec {
+		if math.Abs(v) > 100 {
+			first = i
+			break
+		}
+	}
+	want := (0.3 + 1.0/acoustic.SpeedOfSoundMPS - 0.2) * 44100
+	if first < 0 || math.Abs(float64(first)-want) > 5 {
+		t.Fatalf("arrival %d, want ≈%g", first, want)
+	}
+}
+
+// TestRenderWallAttenuates puts the receiver in another room.
+func TestRenderWallAttenuates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Environment = acoustic.EnvQuiet
+	cfg.DurationSec = 0.3
+	w, err := New(cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newDevice(t, "src", [2]float64{0, 0}, 0, 0)
+	other := newDevice(t, "other", [2]float64{1, 0}, 1, 0)
+	if err := w.AddDevice(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddDevice(other); err != nil {
+		t.Fatal(err)
+	}
+	tone, err := dsp.Sine(10000, 10000, 0, 44100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SchedulePlay(src, tone, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := w.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := dsp.PeakAbs(recs[other].Float())
+	open := cfg.Channel.Gain(1.0) * 10000
+	if peak > open*cfg.Channel.WallTransmission*3 {
+		t.Fatalf("walled peak %g too loud (open would be %g)", peak, open)
+	}
+}
+
+func TestRenderNoiseOnlyHasEnvironmentPower(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Environment = acoustic.EnvStreet
+	cfg.DurationSec = 0.4
+	w, err := New(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDevice(t, "a", [2]float64{0, 0}, 0, 0)
+	if err := w.AddDevice(d); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := w.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms := math.Sqrt(dsp.TotalPower(recs[d].Float()))
+	if rms < 1000 { // street hum is 3000 RMS
+		t.Fatalf("street recording rms %g too quiet", rms)
+	}
+}

@@ -1,0 +1,319 @@
+// Package piano is a faithful reimplementation of PIANO — the
+// proximity-based user authentication method for voice-powered IoT devices
+// from Gong et al., ICDCS 2017 — together with a complete simulation of the
+// physical substrate the paper's prototype ran on (speakers, microphones,
+// acoustic propagation, ambient noise, Bluetooth).
+//
+// A user carries a vouching device (say, a smartwatch); an authenticating
+// device (say, a smart speaker or phone) grants access iff the acoustic
+// distance between the two — measured by the ACTION protocol with
+// randomized, spoofing-resistant reference signals — is within a
+// user-chosen threshold.
+//
+// Quick start:
+//
+//	dep, err := piano.NewDeployment(piano.DefaultConfig(),
+//	    piano.DeviceSpec{Name: "speaker", X: 0, Y: 0},
+//	    piano.DeviceSpec{Name: "watch", X: 0.8, Y: 0})
+//	...
+//	dec, err := dep.Authenticate()
+//	if dec.Granted { ... }
+package piano
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/acoustic-auth/piano/internal/acoustic"
+	"github.com/acoustic-auth/piano/internal/attack"
+	"github.com/acoustic-auth/piano/internal/core"
+	"github.com/acoustic-auth/piano/internal/device"
+	"github.com/acoustic-auth/piano/internal/energy"
+)
+
+// Environment selects the ambient-noise scenario (§VI-B of the paper).
+type Environment int
+
+// Supported environments.
+const (
+	Quiet Environment = iota + 1
+	Office
+	Home
+	Restaurant
+	Street
+)
+
+// String implements fmt.Stringer.
+func (e Environment) String() string { return e.internal().String() }
+
+func (e Environment) internal() acoustic.Environment {
+	switch e {
+	case Office:
+		return acoustic.EnvOffice
+	case Home:
+		return acoustic.EnvHome
+	case Restaurant:
+		return acoustic.EnvRestaurant
+	case Street:
+		return acoustic.EnvStreet
+	default:
+		return acoustic.EnvQuiet
+	}
+}
+
+// Reason explains an authentication decision.
+type Reason = core.Reason
+
+// Decision reasons (re-exported from the core implementation).
+const (
+	ReasonGranted                  = core.ReasonGranted
+	ReasonBluetoothOutOfRange      = core.ReasonBluetoothOutOfRange
+	ReasonSignalAbsent             = core.ReasonSignalAbsent
+	ReasonDistanceExceedsThreshold = core.ReasonDistanceExceedsThreshold
+)
+
+// Config is the user-facing deployment configuration.
+type Config struct {
+	// Environment is the ambient scenario. Default: Office.
+	Environment Environment
+	// ThresholdM is the authentication threshold τ in meters (the
+	// personalization knob). Default: 1.0.
+	ThresholdM float64
+	// Seed drives all simulation randomness; runs with equal seeds are
+	// reproducible. Default: 1.
+	Seed int64
+	// TrackEnergy enables the per-authentication energy ledger.
+	TrackEnergy bool
+}
+
+// DefaultConfig returns the paper's default deployment: office, τ = 1 m.
+func DefaultConfig() Config {
+	return Config{Environment: Office, ThresholdM: 1.0, Seed: 1}
+}
+
+// DeviceSpec describes one device's placement and hardware quirks.
+type DeviceSpec struct {
+	// Name identifies the device.
+	Name string
+	// X, Y are the position in meters.
+	X, Y float64
+	// Room identifies the room; devices in different rooms are separated
+	// by a wall.
+	Room int
+	// ClockSkewPPM is the audio-crystal error (0 = ideal; phones are
+	// typically within ±30 ppm).
+	ClockSkewPPM float64
+}
+
+// Decision is the outcome of one authentication.
+type Decision struct {
+	// Granted is the access decision.
+	Granted bool
+	// Reason explains it.
+	Reason Reason
+	// DistanceM is the measured distance (0 when unmeasured/absent).
+	DistanceM float64
+	// AuthTimeSec is the modeled wall-clock latency on prototype
+	// hardware.
+	AuthTimeSec float64
+}
+
+// Measurement is the outcome of one raw ACTION distance estimation.
+type Measurement struct {
+	// DistanceM is the estimate; valid only when Found.
+	DistanceM float64
+	// Found is false when a reference signal was not present (⊥) —
+	// devices too far, a wall between them, or interference.
+	Found bool
+	// AuthTimeSec is the modeled wall-clock latency.
+	AuthTimeSec float64
+}
+
+// EnergyReport summarizes consumption since the deployment was created.
+type EnergyReport struct {
+	// TotalJoules is the cumulative energy.
+	TotalJoules float64
+	// BatteryPercent is the share of a Galaxy-S4-class battery used.
+	BatteryPercent float64
+	// Breakdown is a human-readable per-component split.
+	Breakdown string
+	// Authentications counts the sessions accounted.
+	Authentications int
+}
+
+// Deployment is a registered PIANO pairing: an authenticating device
+// guarded by a vouching device inside a simulated acoustic scene.
+type Deployment struct {
+	cfg         Config
+	coreCfg     core.Config
+	auth, vouch *device.Device
+	a           *core.Authenticator
+	rng         *rand.Rand
+	ledger      *energy.Ledger
+	battery     *energy.Battery
+	interferers []*device.Device
+	authCount   int
+}
+
+// NewDeployment performs the registration phase: builds both devices and
+// pairs them over (simulated) Bluetooth with a real key agreement.
+func NewDeployment(cfg Config, authSpec, vouchSpec DeviceSpec) (*Deployment, error) {
+	if cfg.ThresholdM == 0 {
+		cfg.ThresholdM = 1.0
+	}
+	if cfg.Environment == 0 {
+		cfg.Environment = Office
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	coreCfg := core.DefaultConfig()
+	coreCfg.World.Environment = cfg.Environment.internal()
+	coreCfg.ThresholdM = cfg.ThresholdM
+
+	mk := func(spec DeviceSpec, fallback string) (*device.Device, error) {
+		name := spec.Name
+		if name == "" {
+			name = fallback
+		}
+		return device.New(device.Config{
+			Name:         name,
+			Position:     [2]float64{spec.X, spec.Y},
+			Room:         spec.Room,
+			SampleRate:   44100,
+			ClockSkewPPM: spec.ClockSkewPPM,
+			ProcDelay:    device.DefaultProcessingDelay(),
+		})
+	}
+	auth, err := mk(authSpec, "authenticating-device")
+	if err != nil {
+		return nil, fmt.Errorf("piano: %w", err)
+	}
+	vouch, err := mk(vouchSpec, "vouching-device")
+	if err != nil {
+		return nil, fmt.Errorf("piano: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a, err := core.NewAuthenticator(coreCfg, auth, vouch, rng)
+	if err != nil {
+		return nil, fmt.Errorf("piano: %w", err)
+	}
+
+	d := &Deployment{cfg: cfg, coreCfg: coreCfg, auth: auth, vouch: vouch, a: a, rng: rng}
+	if cfg.TrackEnergy {
+		ledger, err := energy.NewLedger(energy.DefaultPowerModel())
+		if err != nil {
+			return nil, fmt.Errorf("piano: %w", err)
+		}
+		battery, err := energy.NewBattery(energy.GalaxyS4CapacityJoules)
+		if err != nil {
+			return nil, fmt.Errorf("piano: %w", err)
+		}
+		a.TrackEnergy(ledger, battery)
+		d.ledger, d.battery = ledger, battery
+	}
+	return d, nil
+}
+
+// SetThreshold tunes τ (personalization; 0.5 m for cautious users, etc.).
+func (d *Deployment) SetThreshold(m float64) error {
+	if err := d.a.SetThreshold(m); err != nil {
+		return fmt.Errorf("piano: %w", err)
+	}
+	return nil
+}
+
+// Threshold returns the current τ.
+func (d *Deployment) Threshold() float64 { return d.a.Config().ThresholdM }
+
+// MoveVouchingDevice relocates the vouching device (the user walked
+// somewhere, possibly into another room).
+func (d *Deployment) MoveVouchingDevice(x, y float64, room int) {
+	d.vouch.SetPosition([2]float64{x, y})
+	d.vouch.SetRoom(room)
+}
+
+// MoveAuthDevice relocates the authenticating device.
+func (d *Deployment) MoveAuthDevice(x, y float64, room int) {
+	d.auth.SetPosition([2]float64{x, y})
+	d.auth.SetRoom(room)
+}
+
+// TrueDistance returns the actual geometric distance between the devices.
+func (d *Deployment) TrueDistance() float64 { return d.auth.DistanceTo(d.vouch) }
+
+// AddInterferer places another PIANO user's device in the scene. During
+// every subsequent authentication it plays its own randomized reference
+// signals at random times (the multi-user scenario of Fig. 2a).
+func (d *Deployment) AddInterferer(name string, x, y float64) error {
+	if name == "" {
+		return errors.New("piano: interferer needs a name")
+	}
+	dev, err := attack.NewAttackerDevice(name, [2]float64{x, y}, d.auth.Room())
+	if err != nil {
+		return fmt.Errorf("piano: %w", err)
+	}
+	d.interferers = append(d.interferers, dev)
+	return nil
+}
+
+// extraPlays assembles the interference for one session.
+func (d *Deployment) extraPlays() ([]core.ExtraPlay, error) {
+	if len(d.interferers) == 0 {
+		return nil, nil
+	}
+	plays, err := attack.Interference(d.coreCfg.Signal, d.interferers, d.rng)
+	if err != nil {
+		return nil, fmt.Errorf("piano: %w", err)
+	}
+	return plays, nil
+}
+
+// Authenticate runs one complete PIANO authentication.
+func (d *Deployment) Authenticate() (*Decision, error) {
+	plays, err := d.extraPlays()
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.a.Authenticate(plays...)
+	if err != nil {
+		return nil, fmt.Errorf("piano: %w", err)
+	}
+	d.authCount++
+	dec := &Decision{Granted: res.Granted, Reason: res.Reason, DistanceM: res.DistanceM}
+	if res.Session != nil {
+		dec.AuthTimeSec = res.Session.AuthTimeSec
+	}
+	return dec, nil
+}
+
+// MeasureDistance runs the ACTION protocol once without an access
+// decision.
+func (d *Deployment) MeasureDistance() (*Measurement, error) {
+	plays, err := d.extraPlays()
+	if err != nil {
+		return nil, err
+	}
+	sr, err := d.a.Measure(plays...)
+	if err != nil {
+		return nil, fmt.Errorf("piano: %w", err)
+	}
+	d.authCount++
+	return &Measurement{DistanceM: sr.DistanceM, Found: sr.Found, AuthTimeSec: sr.AuthTimeSec}, nil
+}
+
+// Energy returns the consumption report (zero-valued when the deployment
+// was created without TrackEnergy).
+func (d *Deployment) Energy() EnergyReport {
+	if d.ledger == nil {
+		return EnergyReport{Authentications: d.authCount}
+	}
+	return EnergyReport{
+		TotalJoules:     d.ledger.TotalJoules(),
+		BatteryPercent:  d.battery.UsedPercent(),
+		Breakdown:       d.ledger.Breakdown(),
+		Authentications: d.authCount,
+	}
+}

@@ -1,0 +1,219 @@
+package piano
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func newDeploymentT(t testing.TB, cfg Config, distM float64) *Deployment {
+	t.Helper()
+	dep, err := NewDeployment(cfg,
+		DeviceSpec{Name: "speaker", X: 0, Y: 0, ClockSkewPPM: 15},
+		DeviceSpec{Name: "watch", X: distM, Y: 0, ClockSkewPPM: -20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	dep := newDeploymentT(t, DefaultConfig(), 0.8)
+	dec, err := dep.Authenticate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Granted || dec.Reason != ReasonGranted {
+		t.Fatalf("0.8 m under τ=1 m should grant; got %+v", dec)
+	}
+	if dec.DistanceM < 0.5 || dec.DistanceM > 1.1 {
+		t.Fatalf("distance %.2f implausible for 0.8 m", dec.DistanceM)
+	}
+	if dec.AuthTimeSec <= 0 || dec.AuthTimeSec > 3.5 {
+		t.Fatalf("auth time %.2f s", dec.AuthTimeSec)
+	}
+}
+
+func TestWalkAwayDenies(t *testing.T) {
+	dep := newDeploymentT(t, DefaultConfig(), 0.8)
+	dep.MoveVouchingDevice(6, 0, 0) // user leaves for lunch
+	dec, err := dep.Authenticate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Granted {
+		t.Fatal("granted with user 6 m away")
+	}
+	if dec.Reason != ReasonSignalAbsent {
+		t.Fatalf("reason %v", dec.Reason)
+	}
+
+	dep.MoveVouchingDevice(12, 0, 0) // beyond Bluetooth
+	dec, err = dep.Authenticate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Granted || dec.Reason != ReasonBluetoothOutOfRange {
+		t.Fatalf("got %+v", dec)
+	}
+
+	dep.MoveVouchingDevice(0.8, 0, 0) // back at the desk
+	dec, err = dep.Authenticate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Granted {
+		t.Fatalf("denied after returning: %v", dec.Reason)
+	}
+}
+
+func TestWallDenies(t *testing.T) {
+	dep := newDeploymentT(t, DefaultConfig(), 0.8)
+	dep.MoveVouchingDevice(0.8, 0, 1) // next room, 0.8 m away
+	dec, err := dep.Authenticate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Granted || dec.Reason != ReasonSignalAbsent {
+		t.Fatalf("wall should deny via absent signal; got %+v", dec)
+	}
+}
+
+func TestThresholdPersonalization(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Environment = Quiet
+	dep := newDeploymentT(t, cfg, 0.8)
+	if err := dep.SetThreshold(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if dep.Threshold() != 0.5 {
+		t.Fatal("threshold accessor")
+	}
+	dec, err := dep.Authenticate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Granted {
+		t.Fatalf("0.8 m with τ=0.5 m granted (measured %.2f)", dec.DistanceM)
+	}
+	if dec.Reason != ReasonDistanceExceedsThreshold {
+		t.Fatalf("reason %v", dec.Reason)
+	}
+	if err := dep.SetThreshold(-1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestMeasureDistanceAccuracy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Environment = Quiet
+	dep := newDeploymentT(t, cfg, 1.5)
+	m, err := dep.MeasureDistance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Found {
+		t.Fatal("signal absent at 1.5 m in quiet room")
+	}
+	if e := math.Abs(m.DistanceM - 1.5); e > 0.12 {
+		t.Fatalf("error %.1f cm", e*100)
+	}
+	if got := dep.TrueDistance(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("true distance %.3f", got)
+	}
+}
+
+func TestEnergyTracking(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrackEnergy = true
+	dep := newDeploymentT(t, cfg, 0.8)
+	for i := 0; i < 2; i++ {
+		if _, err := dep.Authenticate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := dep.Energy()
+	if rep.Authentications != 2 {
+		t.Fatalf("count %d", rep.Authentications)
+	}
+	if rep.TotalJoules <= 0 || rep.BatteryPercent <= 0 {
+		t.Fatalf("energy report %+v", rep)
+	}
+	if !strings.Contains(rep.Breakdown, "cpu") {
+		t.Fatalf("breakdown %q", rep.Breakdown)
+	}
+
+	// Without tracking, report is zero-valued but counts sessions.
+	dep2 := newDeploymentT(t, DefaultConfig(), 0.8)
+	if _, err := dep2.Authenticate(); err != nil {
+		t.Fatal(err)
+	}
+	rep2 := dep2.Energy()
+	if rep2.TotalJoules != 0 || rep2.Authentications != 1 {
+		t.Fatalf("untracked report %+v", rep2)
+	}
+}
+
+func TestInterferers(t *testing.T) {
+	dep := newDeploymentT(t, DefaultConfig(), 0.8)
+	if err := dep.AddInterferer("", 2, 2); err == nil {
+		t.Fatal("nameless interferer accepted")
+	}
+	if err := dep.AddInterferer("user2", 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.AddInterferer("user3", -1.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	// With interference, authentication must still terminate cleanly —
+	// granted, threshold-denied, or ⊥ are all legal outcomes.
+	dec, err := dep.Authenticate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch dec.Reason {
+	case ReasonGranted, ReasonSignalAbsent, ReasonDistanceExceedsThreshold:
+	default:
+		t.Fatalf("unexpected reason %v", dec.Reason)
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	dep, err := NewDeployment(Config{}, DeviceSpec{}, DeviceSpec{X: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Threshold() != 1.0 {
+		t.Fatalf("default threshold %g", dep.Threshold())
+	}
+	if dep.cfg.Environment != Office || dep.cfg.Seed != 1 {
+		t.Fatalf("defaults %+v", dep.cfg)
+	}
+}
+
+func TestEnvironmentStrings(t *testing.T) {
+	for env, want := range map[Environment]string{
+		Quiet: "quiet", Office: "office", Home: "home",
+		Restaurant: "restaurant", Street: "street",
+	} {
+		if env.String() != want {
+			t.Errorf("%d → %q", env, env.String())
+		}
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	run := func() float64 {
+		cfg := DefaultConfig()
+		cfg.Seed = 99
+		dep := newDeploymentT(t, cfg, 1.2)
+		m, err := dep.MeasureDistance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.DistanceM
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different results: %g vs %g", a, b)
+	}
+}
