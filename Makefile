@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test bench bench-smoke bench-auth cover clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark suite with allocation stats (slow: runs every paper figure).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One-iteration smoke run of every benchmark: catches benchmarks that crash
+# or regress catastrophically without paying the full measurement cost (CI).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The authentication hot path against the recorded seed baseline
+# (BENCH_seed.json / PERFORMANCE.md).
+bench-auth:
+	$(GO) test -run '^$$' -bench 'BenchmarkAuthentication' -benchmem -benchtime 10x .
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

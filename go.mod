@@ -1,0 +1,3 @@
+module github.com/acoustic-auth/piano
+
+go 1.24

@@ -103,14 +103,45 @@ type Path struct {
 	Blocked bool
 }
 
+// allpassTail is the extra buffer length appended to hold the dispersion
+// tail of the allpass cascade.
+const allpassTail = 256
+
 // ApplyAllpass runs src through the first-order allpass cascade described
 // by coeffs (y[n] = −a·x[n] + x[n−1] + a·y[n−1] per section), returning a
 // slightly longer buffer to hold the dispersion tail.
 func ApplyAllpass(src []float64, coeffs []float64) []float64 {
-	const tail = 256
-	cur := make([]float64, len(src)+tail)
+	var ws AllpassWorkspace
+	out := ws.Apply(src, coeffs)
+	// The workspace owns its buffers; hand the caller a private copy.
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// AllpassWorkspace applies allpass cascades while reusing two scratch
+// buffers across calls, so render loops filter many plays without per-play
+// allocations. The zero value is ready to use. Not safe for concurrent use;
+// give each rendering goroutine its own workspace.
+type AllpassWorkspace struct {
+	cur, next []float64
+}
+
+// Apply is ApplyAllpass into workspace-owned storage. The returned slice
+// (len(src)+256, like ApplyAllpass) aliases the workspace and is valid only
+// until the next Apply call.
+func (w *AllpassWorkspace) Apply(src []float64, coeffs []float64) []float64 {
+	total := len(src) + allpassTail
+	if cap(w.cur) < total {
+		w.cur = make([]float64, total)
+		w.next = make([]float64, total)
+	}
+	cur := w.cur[:total]
+	next := w.next[:total]
 	copy(cur, src)
-	next := make([]float64, len(cur))
+	for i := len(src); i < total; i++ {
+		cur[i] = 0
+	}
 	for _, a := range coeffs {
 		var xPrev, yPrev float64
 		for i, x := range cur {
@@ -120,6 +151,7 @@ func ApplyAllpass(src []float64, coeffs []float64) []float64 {
 		}
 		cur, next = next, cur
 	}
+	w.cur, w.next = cur[:cap(cur)], next[:cap(next)]
 	return cur
 }
 

@@ -14,6 +14,16 @@ const sincHalfWidth = 24
 // sample offset, applying the fractional part as a band-limited delay via a
 // Hann-windowed sinc kernel.
 func MixFloatSinc(dst, src []float64, offset float64) {
+	MixFloatSincGain(dst, src, offset, 1)
+}
+
+// MixFloatSincGain is MixFloatSinc with every source sample scaled by gain
+// on the fly. This is the render hot path's per-tap mixer: folding the tap
+// gain into the kernel accumulation removes the per-tap scaled-copy buffer
+// the renderer used to allocate, with bit-identical results (the scale is
+// applied to the source sample before the kernel product, exactly as the
+// pre-scaled copy was).
+func MixFloatSincGain(dst, src []float64, offset, gain float64) {
 	if len(src) == 0 || len(dst) == 0 {
 		return
 	}
@@ -25,7 +35,7 @@ func MixFloatSinc(dst, src []float64, offset float64) {
 		for i, v := range src {
 			di := start + i
 			if di >= 0 && di < len(dst) {
-				dst[di] += v
+				dst[di] += v * gain
 			}
 		}
 		return
@@ -51,16 +61,52 @@ func MixFloatSinc(dst, src []float64, offset float64) {
 		kernel[k+l-1] = s * w
 	}
 
-	for i, v := range src {
-		if v == 0 {
-			continue
+	// Interior samples write their whole kernel inside dst, so the per-tap
+	// destination range check can be hoisted out of the kernel loop; only
+	// the few edge samples take the checked path. Accumulation order per
+	// sample is unchanged (k ascending), so results are bit-identical to
+	// the fully checked loop.
+	safeLo := l - 1 - start
+	if safeLo < 0 {
+		safeLo = 0
+	}
+	safeHi := len(dst) - 1 - l - start
+	if safeHi > len(src)-1 {
+		safeHi = len(src) - 1
+	}
+
+	mixChecked := func(i int) {
+		sv := src[i] * gain
+		if sv == 0 {
+			return
 		}
 		for k := -l + 1; k <= l; k++ {
 			di := start + i + k
 			if di >= 0 && di < len(dst) {
-				dst[di] += v * kernel[k+l-1]
+				dst[di] += sv * kernel[k+l-1]
 			}
 		}
+	}
+	for i := 0; i < safeLo && i < len(src); i++ {
+		mixChecked(i)
+	}
+	kern := kernel[:]
+	for i := safeLo; i <= safeHi; i++ {
+		sv := src[i] * gain
+		if sv == 0 {
+			continue
+		}
+		out := dst[start+i-l+1:][:2*l]
+		for k, kv := range kern {
+			out[k] += sv * kv
+		}
+	}
+	edgeLo := safeHi + 1
+	if edgeLo < safeLo {
+		edgeLo = safeLo
+	}
+	for i := edgeLo; i < len(src); i++ {
+		mixChecked(i)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/acoustic-auth/piano/internal/acoustic"
 	"github.com/acoustic-auth/piano/internal/bluetooth"
@@ -256,40 +257,62 @@ func RunACTION(
 	}
 
 	// --- Step IV: each device locates both signals in its recording. ---
+	// The two devices detect independently on real hardware, so the session
+	// pipeline runs their scans in parallel goroutines; each scan is
+	// deterministic, so the session result stays bit-identical to the
+	// sequential pipeline.
 	det, err := detect.New(cfg.Detect)
 	if err != nil {
 		return nil, err
 	}
 	var resAuth, resVouch []detect.Result
+	var errAuth, errVouch error
+	var wg sync.WaitGroup
+	wg.Add(2)
 	if cfg.Mode == DetectCrossCorrelation {
 		// ACTION-CC baseline: locate each signal by normalized
 		// cross-correlation against the original waveform.
-		recA, recV := recs[auth].Float(), recs[vouch].Float()
-		for _, pair := range []struct {
-			rec  []float64
-			sigs []*sigref.Signal
-			out  *[]detect.Result
-		}{
-			{recA, []*sigref.Signal{sigA, sigV}, &resAuth},
-			{recV, []*sigref.Signal{vouchSigA, vouchSigV}, &resVouch},
-		} {
-			for _, s := range pair.sigs {
-				r, err := det.DetectCrossCorrelation(pair.rec, s)
+		ccDetect := func(rec []float64, sigs ...*sigref.Signal) ([]detect.Result, error) {
+			out := make([]detect.Result, 0, len(sigs))
+			for _, s := range sigs {
+				r, err := det.DetectCrossCorrelation(rec, s)
 				if err != nil {
 					return nil, fmt.Errorf("core: cross-correlation detect: %w", err)
 				}
-				*pair.out = append(*pair.out, r)
+				out = append(out, r)
 			}
+			return out, nil
 		}
+		go func() {
+			defer wg.Done()
+			resAuth, errAuth = ccDetect(recs[auth].Float(), sigA, sigV)
+		}()
+		go func() {
+			defer wg.Done()
+			resVouch, errVouch = ccDetect(recs[vouch].Float(), vouchSigA, vouchSigV)
+		}()
 	} else {
-		resAuth, err = det.DetectAll(recs[auth].Float(), sigA, sigV)
-		if err != nil {
-			return nil, fmt.Errorf("core: detect on authenticating device: %w", err)
-		}
-		resVouch, err = det.DetectAll(recs[vouch].Float(), vouchSigA, vouchSigV)
-		if err != nil {
-			return nil, fmt.Errorf("core: detect on vouching device: %w", err)
-		}
+		go func() {
+			defer wg.Done()
+			resAuth, errAuth = det.DetectAll(recs[auth].Float(), sigA, sigV)
+			if errAuth != nil {
+				errAuth = fmt.Errorf("core: detect on authenticating device: %w", errAuth)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			resVouch, errVouch = det.DetectAll(recs[vouch].Float(), vouchSigA, vouchSigV)
+			if errVouch != nil {
+				errVouch = fmt.Errorf("core: detect on vouching device: %w", errVouch)
+			}
+		}()
+	}
+	wg.Wait()
+	if errAuth != nil {
+		return nil, errAuth
+	}
+	if errVouch != nil {
+		return nil, errVouch
 	}
 
 	res.WindowsScanned = resAuth[0].WindowsScanned + resAuth[1].WindowsScanned - resAuth[0].CoarseScanned

@@ -19,6 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/acoustic-auth/piano/internal/dsp"
 	"github.com/acoustic-auth/piano/internal/sigref"
@@ -103,9 +106,33 @@ type Result struct {
 }
 
 // Detector locates reference signals in recorded audio.
+//
+// A Detector is safe for concurrent use and holds pooled per-scan scratch
+// (FFT workspaces and score buffers), so steady-state scans perform no
+// per-window heap allocations. Must not be copied after first use.
 type Detector struct {
 	cfg Config
+
+	// wsPool holds *scanWorkspace values; one is checked out per scan
+	// worker and returned when the scan finishes.
+	wsPool sync.Pool
+	// scorePool holds *scoreBuf values: the per-window score storage the
+	// parallel scan writes into before the deterministic reduction.
+	scorePool sync.Pool
 }
+
+// scanWorkspace is the per-worker scratch for window scoring: a shared
+// immutable FFT plan plus this worker's private spectrum and FFT buffers.
+type scanWorkspace struct {
+	n       int
+	plan    *dsp.FFTPlan
+	scratch []complex128
+	spec    []float64
+}
+
+// scoreBuf wraps a growable score slice so it can round-trip through a
+// sync.Pool without re-boxing.
+type scoreBuf struct{ buf []float64 }
 
 // New builds a Detector.
 func New(cfg Config) (*Detector, error) {
@@ -113,6 +140,38 @@ func New(cfg Config) (*Detector, error) {
 		return nil, err
 	}
 	return &Detector{cfg: cfg}, nil
+}
+
+// getWorkspace checks a workspace for window length n out of the pool,
+// building one (with the process-shared FFT plan) on a miss or length
+// change.
+func (d *Detector) getWorkspace(n int) (*scanWorkspace, error) {
+	if v := d.wsPool.Get(); v != nil {
+		ws := v.(*scanWorkspace)
+		if ws.n == n {
+			return ws, nil
+		}
+		// Window length changed (different signal params): drop the stale
+		// workspace and build a fresh one.
+	}
+	plan, err := dsp.SharedFFTPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	return &scanWorkspace{n: n, plan: plan, scratch: plan.NewScratch(), spec: make([]float64, n)}, nil
+}
+
+// getScores checks the score buffer out of the pool, growing it to hold at
+// least n values.
+func (d *Detector) getScores(n int) *scoreBuf {
+	sb, _ := d.scorePool.Get().(*scoreBuf)
+	if sb == nil {
+		sb = &scoreBuf{}
+	}
+	if cap(sb.buf) < n {
+		sb.buf = make([]float64, n)
+	}
+	return sb
 }
 
 // Config returns the detector's parameters.
@@ -207,6 +266,11 @@ func (d *Detector) Detect(recording []float64, sig *sigref.Signal) (Result, erro
 // coarse-scan FFTs across signals — the prototype's "detect the two
 // reference signals simultaneously in one scan" optimization. All signals
 // must share Params (length and grid).
+//
+// Window spectra run through the pooled zero-alloc FFT engine
+// (dsp.FFTPlan.PowerSpectrumInto) and are scored across a bounded worker
+// pool; the reduction is performed in window order, so results are
+// deterministic for a given recording regardless of GOMAXPROCS.
 func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Result, error) {
 	if len(sigs) == 0 {
 		return nil, errors.New("detect: no signals given")
@@ -237,21 +301,32 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 		bestIdx[i] = -1
 	}
 
-	// Coarse scan: one FFT per window, scored against every signal.
+	// Coarse scan: one FFT per window, scored against every signal. The
+	// windows are scored across the worker pool, then reduced sequentially
+	// in window order, so the result (including ties, which the earliest
+	// window wins) is deterministic and independent of GOMAXPROCS —
+	// identical to running this engine's scan sequentially. (It is not
+	// bit-identical to the pre-plan implementation: the planned FFT rounds
+	// a few ULPs differently; see dsp.FFTPlan.)
 	limit := len(recording) - winLen
-	scanned := 0
-	for i := 0; i <= limit; i += d.cfg.CoarseStep {
-		spec, err := dsp.PowerSpectrum(recording[i : i+winLen])
-		if err != nil {
-			return nil, err
-		}
-		scanned++
-		for s, ss := range specs {
-			if p := ss.normPower(spec, d.cfg.Theta); p > bestPow[s] {
+	coarseCount := limit/d.cfg.CoarseStep + 1
+	sb := d.getScores(coarseCount * len(specs))
+	defer d.scorePool.Put(sb)
+
+	scores := sb.buf[:coarseCount*len(specs)]
+	if err := d.scanWindows(recording, winLen, 0, d.cfg.CoarseStep, coarseCount, specs, scores); err != nil {
+		return nil, err
+	}
+	for w := 0; w < coarseCount; w++ {
+		i := w * d.cfg.CoarseStep
+		row := scores[w*len(specs) : (w+1)*len(specs)]
+		for s := range specs {
+			if p := row[s]; p > bestPow[s] {
 				bestPow[s], bestIdx[s] = p, i
 			}
 		}
 	}
+	scanned := coarseCount
 
 	// Fine scan per signal around its coarse argmax.
 	for s, ss := range specs {
@@ -271,14 +346,21 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 		if hi > limit {
 			hi = limit
 		}
-		for i := lo; i <= hi; i += d.cfg.FineStep {
-			spec, err := dsp.PowerSpectrum(recording[i : i+winLen])
-			if err != nil {
-				return nil, err
-			}
-			results[s].WindowsScanned++
-			if p := ss.normPower(spec, d.cfg.Theta); p > bestPow[s] {
-				bestPow[s], bestIdx[s] = p, i
+		fineCount := (hi-lo)/d.cfg.FineStep + 1
+		one := specs[s : s+1]
+		fineScores := sb.buf
+		if cap(fineScores) < fineCount {
+			sb.buf = make([]float64, fineCount)
+			fineScores = sb.buf
+		}
+		fineScores = fineScores[:fineCount]
+		if err := d.scanWindows(recording, winLen, lo, d.cfg.FineStep, fineCount, one, fineScores); err != nil {
+			return nil, err
+		}
+		results[s].WindowsScanned += fineCount
+		for w := 0; w < fineCount; w++ {
+			if p := fineScores[w]; p > bestPow[s] {
+				bestPow[s], bestIdx[s] = p, lo+w*d.cfg.FineStep
 			}
 		}
 		results[s].Power = bestPow[s]
@@ -293,6 +375,69 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 		results[s].Found = true
 	}
 	return results, nil
+}
+
+// scanWindows scores the arithmetic window sequence lo, lo+step, … (count
+// windows) against every spec, writing scores[w*len(specs)+s]. Windows are
+// distributed over a bounded worker pool (≤GOMAXPROCS goroutines, one
+// pooled FFT workspace each); every score depends only on its window, so
+// the output is independent of scheduling and the caller's in-order
+// reduction stays bit-identical to a sequential scan.
+func (d *Detector) scanWindows(recording []float64, winLen, lo, step, count int, specs []*sigSpec, scores []float64) error {
+	theta := d.cfg.Theta
+	workers := runtime.GOMAXPROCS(0)
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		ws, err := d.getWorkspace(winLen)
+		if err != nil {
+			return err
+		}
+		defer d.wsPool.Put(ws)
+		for w := 0; w < count; w++ {
+			i := lo + w*step
+			if err := ws.plan.PowerSpectrumInto(ws.spec, recording[i:i+winLen], ws.scratch); err != nil {
+				return err
+			}
+			for s, ss := range specs {
+				scores[w*len(specs)+s] = ss.normPower(ws.spec, theta)
+			}
+		}
+		return nil
+	}
+
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ws, err := d.getWorkspace(winLen)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer d.wsPool.Put(ws)
+			for {
+				w := int(next.Add(1)) - 1
+				if w >= count {
+					return
+				}
+				i := lo + w*step
+				if err := ws.plan.PowerSpectrumInto(ws.spec, recording[i:i+winLen], ws.scratch); err != nil {
+					errs[g] = err
+					return
+				}
+				for s, ss := range specs {
+					scores[w*len(specs)+s] = ss.normPower(ws.spec, theta)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // DetectCrossCorrelation locates a reference signal using plain normalized

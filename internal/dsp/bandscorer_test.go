@@ -1,0 +1,175 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bandOracle computes band powers the legacy way: full PowerSpectrum plus
+// BandPower per center.
+func bandOracle(t *testing.T, w []float64, centers []int, theta int) []float64 {
+	t.Helper()
+	spec, err := PowerSpectrum(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(centers))
+	for i, c := range centers {
+		out[i] = BandPower(spec, c, theta)
+	}
+	return out
+}
+
+func TestBandScorerValidation(t *testing.T) {
+	if _, err := NewBandScorer(100, []int{1}, 1); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := NewBandScorer(64, nil, 1); err == nil {
+		t.Error("no centers accepted")
+	}
+	if _, err := NewBandScorer(64, []int{64}, 1); err == nil {
+		t.Error("out-of-range center accepted")
+	}
+	if _, err := NewBandScorer(64, []int{1}, -1); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := NewBandScorerWithPlan(nil, []int{1}, 1); err == nil {
+		t.Error("nil plan accepted")
+	}
+	s, err := NewBandScorer(64, []int{3, 9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ScoreInto(make([]float64, 2), make([]float64, 32)); err == nil {
+		t.Error("short window accepted")
+	}
+	if err := s.ScoreInto(make([]float64, 1), make([]float64, 64)); err == nil {
+		t.Error("short dst accepted")
+	}
+}
+
+// TestBandScorerStrategySelection pins the construction-time crossover: few
+// bins → pruned DFT, PIANO's full grid → FFT.
+func TestBandScorerStrategySelection(t *testing.T) {
+	few, err := NewBandScorer(4096, []int{500}, 1) // 3 bins ≤ break-even of 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !few.UsesGoertzel() {
+		t.Error("3-bin workload should use the pruned DFT")
+	}
+	centers := make([]int, 30)
+	for i := range centers {
+		centers[i] = 2300 + 25*i // ≈ the candidate grid spacing
+	}
+	grid, err := NewBandScorer(4096, centers, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.UsesGoertzel() {
+		t.Error("330-bin workload should use the FFT")
+	}
+}
+
+// TestBandScorerParityBothPaths is the satellite parity gate: both
+// strategies must match PowerSpectrum+BandPower to 1e-9 on random windows,
+// including clamped edge bands.
+func TestBandScorerParityBothPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 1024
+	cases := []struct {
+		name    string
+		centers []int
+		theta   int
+	}{
+		{"goertzel-path", []int{700}, 0},
+		{"goertzel-edge-clamp", []int{0}, 1},
+		{"fft-path", []int{100, 200, 300, 400, 500, 600, 700, 800}, 4},
+		{"fft-overlapping-bands", []int{100, 103, 106, 109, 112, 115, 118, 121, 124}, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewBandScorer(n, tc.centers, tc.theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantGoertzel := tc.name[:3] == "goe"
+			if s.UsesGoertzel() != wantGoertzel {
+				t.Fatalf("case %q picked goertzel=%v", tc.name, s.UsesGoertzel())
+			}
+			dst := make([]float64, len(tc.centers))
+			for trial := 0; trial < 5; trial++ {
+				w := randomWindow(n, rng)
+				want := bandOracle(t, w, tc.centers, tc.theta)
+				if err := s.ScoreInto(dst, w); err != nil {
+					t.Fatal(err)
+				}
+				for i := range dst {
+					if !relClose(dst[i], want[i], 1e-9) {
+						t.Fatalf("strategy goertzel=%v band %d: got %g, oracle %g",
+							s.UsesGoertzel(), i, dst[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBandScorerZeroAlloc(t *testing.T) {
+	centers := make([]int, 30)
+	for i := range centers {
+		centers[i] = 2300 + 25*i
+	}
+	for _, theta := range []int{0, 5} {
+		s, err := NewBandScorer(4096, centers, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, len(centers))
+		w := randomWindow(4096, rand.New(rand.NewSource(6)))
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := s.ScoreInto(dst, w); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("theta=%d: ScoreInto allocates %g per window, want 0", theta, allocs)
+		}
+	}
+}
+
+func BenchmarkBandScorerGrid(b *testing.B) {
+	centers := make([]int, 30)
+	for i := range centers {
+		centers[i] = 2300 + 25*i
+	}
+	s, err := NewBandScorer(4096, centers, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := randomWindow(4096, rand.New(rand.NewSource(7)))
+	dst := make([]float64, len(centers))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ScoreInto(dst, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBandScorerSingleTone(b *testing.B) {
+	s, err := NewBandScorer(4096, []int{2500}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := randomWindow(4096, rand.New(rand.NewSource(8)))
+	dst := make([]float64, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ScoreInto(dst, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

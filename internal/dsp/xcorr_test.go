@@ -63,6 +63,117 @@ func TestArgMaxEmpty(t *testing.T) {
 	}
 }
 
+// TestArgMaxSkipsNaN is the regression test for NaN poisoning: NaN elements
+// must never win the comparison or mask a later finite maximum.
+func TestArgMaxSkipsNaN(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		x       []float64
+		wantIdx int
+		wantVal float64
+	}{
+		{[]float64{nan, 1, 3, 2}, 2, 3},
+		{[]float64{1, nan, 3, nan, 2}, 2, 3},
+		{[]float64{3, 2, nan}, 0, 3},
+		{[]float64{nan, nan, -5}, 2, -5},
+	}
+	for _, c := range cases {
+		idx, val := ArgMax(c.x)
+		if idx != c.wantIdx || val != c.wantVal {
+			t.Errorf("ArgMax(%v) = (%d, %g), want (%d, %g)", c.x, idx, val, c.wantIdx, c.wantVal)
+		}
+	}
+	// All-NaN behaves like empty.
+	idx, val := ArgMax([]float64{nan, nan})
+	if idx != -1 || !math.IsInf(val, -1) {
+		t.Errorf("ArgMax(all-NaN) = (%d, %g), want (-1, -Inf)", idx, val)
+	}
+}
+
+// TestCrossCorrelateFFTMatchesNaiveOracle validates the overlap-save path
+// against the retained direct evaluation over a sweep of shapes, including
+// block-boundary-straddling sizes.
+func TestCrossCorrelateFFTMatchesNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ n, m int }{
+		{1, 1}, {7, 3}, {64, 64}, {100, 33}, {1000, 256},
+		{4097, 512}, {10000, 1024}, {3000, 1000},
+	}
+	for _, s := range shapes {
+		x := make([]float64, s.n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		ref := make([]float64, s.m)
+		for i := range ref {
+			ref[i] = rng.NormFloat64()
+		}
+		want, err := CrossCorrelateNaive(x, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CrossCorrelate(x, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d m=%d: length %d, want %d", s.n, s.m, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("n=%d m=%d: corr[%d] = %g, oracle %g", s.n, s.m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCrossCorrelateNaiveErrors(t *testing.T) {
+	if _, err := CrossCorrelateNaive([]float64{1, 2}, nil); err == nil {
+		t.Error("empty reference accepted")
+	}
+	if _, err := CrossCorrelateNaive([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("reference longer than sequence accepted")
+	}
+}
+
+func BenchmarkCrossCorrelateFFT(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	x := make([]float64, 52920) // one 1.2 s recording at 44.1 kHz
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, 4096)
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossCorrelate(x, ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossCorrelateNaive(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	x := make([]float64, 52920)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, 4096)
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossCorrelateNaive(x, ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestSineErrors(t *testing.T) {
 	if _, err := Sine(1000, 1, 0, 0, 10); err == nil {
 		t.Error("zero sample rate accepted")

@@ -1,0 +1,148 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/acoustic-auth/piano/internal/device"
+	"github.com/acoustic-auth/piano/internal/dsp"
+)
+
+func newBenchDevice(tb testing.TB, name string, pos [2]float64) *device.Device {
+	tb.Helper()
+	d, err := device.New(device.Config{
+		Name:       name,
+		Position:   pos,
+		SampleRate: 44100,
+		ProcDelay:  device.DefaultProcessingDelay(),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+// buildScene assembles a two-device office scene with both devices playing,
+// approximating one ACTION session's render workload.
+func buildScene(tb testing.TB, seed int64, taps int) *World {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.DurationSec = 0.6
+	cfg.Channel.TransducerTaps = taps
+	w, err := New(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	a := newBenchDevice(tb, "a", [2]float64{0, 0})
+	b := newBenchDevice(tb, "b", [2]float64{0.8, 0})
+	if err := w.AddDevice(a); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.AddDevice(b); err != nil {
+		tb.Fatal(err)
+	}
+	tone, err := dsp.Sine(30000, 8000, 0, 44100, 4096)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.SchedulePlay(a, tone, 0.1); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.SchedulePlay(b, tone, 0.35); err != nil {
+		tb.Fatal(err)
+	}
+	return w
+}
+
+// TestRenderNoPerTapAllocations is the satellite gate for the renderer:
+// adding impulse-response taps must not add heap allocations (the per-tap
+// scaled copy and per-play allpass buffers are gone). Only the per-path
+// bookkeeping inside NewPath may grow, by a constant per scene.
+func TestRenderNoPerTapAllocations(t *testing.T) {
+	few := buildScene(t, 31, 2)   // 2 transducer taps
+	many := buildScene(t, 32, 12) // 10 extra taps × 2 plays × 2 devices = 40 extra mixes
+
+	measure := func(w *World) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, err := w.Render(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	fewAllocs := measure(few)
+	manyAllocs := measure(many)
+	// 40 extra tap mixes used to cost ≥40 scaled-copy allocations; now the
+	// only growth allowed is NewPath's tap-slice resize (constant per
+	// path, 4 paths per render).
+	if manyAllocs > fewAllocs+8 {
+		t.Fatalf("allocations scale with taps: %.0f (2 taps) → %.0f (12 taps)", fewAllocs, manyAllocs)
+	}
+}
+
+// TestRenderDeterministicAcrossWorkerCounts asserts the two-phase renderer
+// produces bit-identical recordings whether the mixing phase runs on one
+// worker or several — the seeded-reproducibility contract.
+func TestRenderDeterministicAcrossWorkerCounts(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	render := func() map[string][]float64 {
+		w := buildScene(t, 33, 2)
+		recs, err := w.Render()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string][]float64, len(recs))
+		for d, buf := range recs {
+			out[d.Name()] = buf.Float()
+		}
+		return out
+	}
+	runtime.GOMAXPROCS(1)
+	seq := render()
+	runtime.GOMAXPROCS(4)
+	par := render()
+
+	for name, s := range seq {
+		p := par[name]
+		if len(p) != len(s) {
+			t.Fatalf("%s: length %d != %d", name, len(p), len(s))
+		}
+		for i := range s {
+			if s[i] != p[i] {
+				t.Fatalf("%s: sample %d: sequential %g != parallel %g (diff %g)",
+					name, i, s[i], p[i], math.Abs(s[i]-p[i]))
+			}
+		}
+	}
+}
+
+// TestSchedulePlayAliasesCallerSlice documents the new ownership contract:
+// the world holds a reference to the scheduled samples rather than copying.
+func TestSchedulePlayAliasesCallerSlice(t *testing.T) {
+	w := quietWorld(t, 0.2)
+	d := newDevice(t, "a", [2]float64{0, 0}, 0, 0)
+	if err := w.AddDevice(d); err != nil {
+		t.Fatal(err)
+	}
+	samples := []float64{1, 2, 3}
+	if err := w.SchedulePlay(d, samples, 0); err != nil {
+		t.Fatal(err)
+	}
+	if &w.plays[0].samples[0] != &samples[0] {
+		t.Fatal("SchedulePlay copied the samples; the ownership contract says it must alias")
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	w := buildScene(b, 34, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Render(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"github.com/acoustic-auth/piano/internal/acoustic"
 	"github.com/acoustic-auth/piano/internal/audio"
@@ -60,6 +62,10 @@ type World struct {
 	profile acoustic.Profile
 	rng     *rand.Rand
 	devices []*device.Device
+	// members mirrors devices for O(1) membership checks in AddDevice and
+	// SchedulePlay (scenes with many interferers used to pay a linear scan
+	// per scheduled play).
+	members map[*device.Device]bool
 	plays   []playEvent
 }
 
@@ -78,6 +84,7 @@ func New(cfg Config, rng *rand.Rand) (*World, error) {
 		profile: acoustic.ProfileFor(cfg.Environment),
 		rng:     rng,
 		devices: nil,
+		members: make(map[*device.Device]bool),
 		plays:   nil,
 	}, nil
 }
@@ -91,87 +98,133 @@ func (w *World) AddDevice(d *device.Device) error {
 	if d == nil {
 		return errors.New("world: nil device")
 	}
-	for _, existing := range w.devices {
-		if existing == d {
-			return fmt.Errorf("world: device %q already added", d.Name())
-		}
+	if w.members[d] {
+		return fmt.Errorf("world: device %q already added", d.Name())
 	}
 	w.devices = append(w.devices, d)
+	w.members[d] = true
 	return nil
 }
 
 // SchedulePlay queues samples to leave src's speaker at the given global
 // time. The samples are in int16 amplitude scale.
+//
+// Ownership contract: the world keeps a reference to samples instead of
+// deep-copying it (reference signals are synthesized per session and never
+// mutated, so the copy was pure overhead). The caller must not modify the
+// slice until after Render; callers that reuse a scratch waveform buffer
+// should pass their own copy.
 func (w *World) SchedulePlay(src *device.Device, samples []float64, globalStartSec float64) error {
 	if src == nil {
 		return errors.New("world: nil source device")
 	}
-	found := false
-	for _, d := range w.devices {
-		if d == src {
-			found = true
-			break
-		}
-	}
-	if !found {
+	if !w.members[src] {
 		return fmt.Errorf("world: device %q not in scene", src.Name())
 	}
-	cp := make([]float64, len(samples))
-	copy(cp, samples)
-	w.plays = append(w.plays, playEvent{src: src, samples: cp, startSec: globalStartSec})
+	w.plays = append(w.plays, playEvent{src: src, samples: samples, startSec: globalStartSec})
 	return nil
+}
+
+// renderJob carries the pre-drawn randomness for one device's recording:
+// every channel realization plus the ambient noise, in the exact order the
+// historical sequential renderer consumed the scene RNG.
+type renderJob struct {
+	dst   *device.Device
+	n     int
+	paths []*acoustic.Path // one per scheduled play, in play order
+	noise []float64
 }
 
 // Render produces each device's recording: the superposition of every
 // scheduled play propagated through a freshly drawn channel realization,
 // plus the environment's ambient noise, quantized once to int16.
+//
+// Rendering is split in two phases. Phase one walks devices sequentially
+// and draws everything random (channel paths, ambient noise) from the scene
+// RNG, preserving the historical draw order so a seeded scene renders
+// bit-identically regardless of parallelism. Phase two — the allpass
+// cascades and windowed-sinc tap mixing, which dominate render cost and
+// touch no shared state — runs each device on a bounded worker pool.
 func (w *World) Render() (map[*device.Device]*audio.Buffer, error) {
-	out := make(map[*device.Device]*audio.Buffer, len(w.devices))
-	for _, dst := range w.devices {
-		rec, err := w.renderFor(dst)
+	jobs := make([]renderJob, len(w.devices))
+	for di, dst := range w.devices {
+		job := renderJob{
+			dst:   dst,
+			n:     int(w.cfg.DurationSec * dst.Clock().TrueRate()),
+			paths: make([]*acoustic.Path, len(w.plays)),
+		}
+		for pi, play := range w.plays {
+			distance := play.src.DistanceTo(dst)
+			sameRoom := play.src.SameRoom(dst)
+			if play.src == dst {
+				distance = dst.SelfDistance()
+				sameRoom = true
+			}
+			path, err := acoustic.NewPath(w.cfg.Channel, w.profile, distance, sameRoom, w.cfg.SampleRate, w.rng)
+			if err != nil {
+				return nil, fmt.Errorf("world: render for %q: %w", dst.Name(), err)
+			}
+			job.paths[pi] = path
+		}
+		noise, err := w.profile.GenerateNoise(dst.Clock().TrueRate(), job.n, w.rng)
 		if err != nil {
 			return nil, fmt.Errorf("world: render for %q: %w", dst.Name(), err)
 		}
-		out[dst] = rec
+		job.noise = noise
+		jobs[di] = job
+	}
+
+	bufs := make([]*audio.Buffer, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for di := range jobs {
+			bufs[di] = w.mix(&jobs[di])
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for di := range jobs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(di int) {
+				defer wg.Done()
+				bufs[di] = w.mix(&jobs[di])
+				<-sem
+			}(di)
+		}
+		wg.Wait()
+	}
+
+	out := make(map[*device.Device]*audio.Buffer, len(w.devices))
+	for di, dst := range w.devices {
+		out[dst] = bufs[di]
 	}
 	return out, nil
 }
 
-// renderFor computes one microphone's recording.
-func (w *World) renderFor(dst *device.Device) (*audio.Buffer, error) {
-	n := int(w.cfg.DurationSec * dst.Clock().TrueRate())
-	acc := make([]float64, n)
+// mix computes one microphone's recording from pre-drawn randomness. It is
+// the render hot path: per play one allpass cascade into workspace-owned
+// scratch, then one gain-folded windowed-sinc mix per tap — no per-play or
+// per-tap heap allocations.
+func (w *World) mix(job *renderJob) *audio.Buffer {
+	acc := make([]float64, job.n)
+	var allpass acoustic.AllpassWorkspace
 
-	for _, play := range w.plays {
-		distance := play.src.DistanceTo(dst)
-		sameRoom := play.src.SameRoom(dst)
-		if play.src == dst {
-			distance = dst.SelfDistance()
-			sameRoom = true
-		}
-		path, err := acoustic.NewPath(w.cfg.Channel, w.profile, distance, sameRoom, w.cfg.SampleRate, w.rng)
-		if err != nil {
-			return nil, err
-		}
-		dispersed := acoustic.ApplyAllpass(play.samples, path.AllpassCoeffs)
+	for pi, play := range w.plays {
+		path := job.paths[pi]
+		dispersed := allpass.Apply(play.samples, path.AllpassCoeffs)
 		for _, tap := range path.Taps {
 			delaySec := (path.BaseDelaySamples + tap.DelaySamples) / w.cfg.SampleRate
-			arrival := dst.Clock().SampleAt(play.startSec + delaySec)
-			scaled := make([]float64, len(dispersed))
-			for i, v := range dispersed {
-				scaled[i] = v * tap.Gain
-			}
-			audio.MixFloatSinc(acc, scaled, arrival)
+			arrival := job.dst.Clock().SampleAt(play.startSec + delaySec)
+			audio.MixFloatSincGain(acc, dispersed, arrival, tap.Gain)
 		}
 	}
 
-	noise, err := w.profile.GenerateNoise(dst.Clock().TrueRate(), n, w.rng)
-	if err != nil {
-		return nil, err
-	}
 	for i := range acc {
-		acc[i] += noise[i]
+		acc[i] += job.noise[i]
 	}
-
-	return &audio.Buffer{SampleRate: dst.SampleRate(), Samples: audio.FromFloat(acc)}, nil
+	return &audio.Buffer{SampleRate: job.dst.SampleRate(), Samples: audio.FromFloat(acc)}
 }
