@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench bench-smoke bench-auth cover clean
+.PHONY: all build vet test test-race bench bench-smoke bench-auth bench-service cover clean
 
 all: vet build test
 
@@ -12,6 +12,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full suite under the race detector: enforces that concurrent service
+# sessions are data-race-free and bit-identical to serial runs.
+test-race:
+	$(GO) test -race ./...
 
 # Full benchmark suite with allocation stats (slow: runs every paper figure).
 bench:
@@ -26,6 +31,11 @@ bench-smoke:
 # (BENCH_seed.json / PERFORMANCE.md).
 bench-auth:
 	$(GO) test -run '^$$' -bench 'BenchmarkAuthentication' -benchmem -benchtime 10x .
+
+# The batched multi-session service against the serial loop
+# (BENCH_service.json / PERFORMANCE.md).
+bench-service:
+	$(GO) test -run '^$$' -bench 'BenchmarkService' -benchmem -benchtime 5x .
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunServeSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-sessions", "4", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"bit-identical", "serial loop", "batched service", "sessions/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunServeBadFlags(t *testing.T) {
+	if err := run(&bytes.Buffer{}, []string{"-sessions", "x"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

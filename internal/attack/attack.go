@@ -3,6 +3,15 @@
 // spoofing attacks, and the benign multi-user interference of Fig. 2(a).
 // Attacks are expressed as core.ExtraPlay injections into the ACTION
 // session's acoustic scene.
+//
+// Ownership: sessions schedule ExtraPlay.Samples by reference (the world
+// stopped deep-copying scheduled waveforms), so every constructor here
+// returns plays backed by freshly synthesized slices that nothing else
+// aliases — callers may hand them to one session and forget them. Callers
+// that inject the same plays into several sessions may do so concurrently
+// only because sessions never write scheduled samples; what they must not
+// do is mutate a returned Samples slice while any session using it is in
+// flight.
 package attack
 
 import (
@@ -123,6 +132,10 @@ func TimedAllFrequency(p sigref.Params, attackers []*device.Device, atSec float6
 		if d == nil {
 			return nil, errors.New("attack: nil attacker device")
 		}
+		// One shared immutable burst would render identically (sessions
+		// only read scheduled samples), but per-attacker copies keep each
+		// play independently mutable for callers that post-process
+		// individual speakers' waveforms.
 		cp := make([]float64, len(burst))
 		copy(cp, burst)
 		plays = append(plays, core.ExtraPlay{Device: d, Samples: cp, AtSec: atSec})

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"github.com/acoustic-auth/piano/internal/bluetooth"
+	"github.com/acoustic-auth/piano/internal/detect"
 	"github.com/acoustic-auth/piano/internal/device"
 	"github.com/acoustic-auth/piano/internal/energy"
 )
@@ -66,6 +67,7 @@ type Authenticator struct {
 	linkAuth  *bluetooth.Link
 	linkVouch *bluetooth.Link
 	rng       *rand.Rand
+	det       *detect.Detector
 	ledger    *energy.Ledger
 	battery   *energy.Battery
 }
@@ -110,6 +112,13 @@ func (a *Authenticator) SetThreshold(m float64) error {
 	return nil
 }
 
+// UseDetector attaches a shared Step-IV detector (typically service-owned,
+// with a worker pool and pinned FFT plans) so this pairing's sessions stop
+// building per-session detection machinery. The detector's parameters must
+// equal the deployment's Detect config; sessions fail otherwise. Call
+// before authenticating; a nil detector restores self-contained sessions.
+func (a *Authenticator) UseDetector(det *detect.Detector) { a.det = det }
+
 // TrackEnergy attaches an energy ledger (and optionally a battery) so
 // subsequent authentications account their consumption.
 func (a *Authenticator) TrackEnergy(l *energy.Ledger, b *energy.Battery) {
@@ -126,7 +135,7 @@ func (a *Authenticator) VouchDevice() *device.Device { return a.vouch }
 // Measure runs ACTION once without making an access decision (the
 // distance-accuracy experiments use this directly).
 func (a *Authenticator) Measure(extras ...ExtraPlay) (*SessionResult, error) {
-	sr, err := RunACTION(a.cfg, a.auth, a.vouch, a.linkAuth, a.linkVouch, a.rng, extras)
+	sr, err := RunACTIONWith(SessionDeps{Detector: a.det}, a.cfg, a.auth, a.vouch, a.linkAuth, a.linkVouch, a.rng, extras)
 	if err != nil {
 		return nil, err
 	}

@@ -23,11 +23,31 @@ type ExtraPlay struct {
 	// Device is the emitting device (position/room already set).
 	Device *device.Device
 	// Samples is the waveform on the int16 amplitude scale.
+	//
+	// Ownership: the session schedules this slice by reference (see
+	// world.SchedulePlay) — it is read, never written, but the caller must
+	// not mutate it until the session that consumed the play returns.
+	// Callers that reuse a scratch waveform buffer across sessions must
+	// pass a private copy per session. Sharing one (immutable) slice
+	// across several ExtraPlays is fine.
 	Samples []float64
 	// AtSec schedules the emission at a global time; ignored if Random.
 	AtSec float64
 	// Random schedules the emission uniformly over the recording span.
 	Random bool
+}
+
+// SessionDeps injects long-lived, service-owned machinery into a session.
+// The zero value makes RunACTION self-contained (it builds what it needs
+// per session); a batching service fills it in so concurrent sessions
+// share one bounded detect worker pool, one pooled scratch arena, and one
+// pinned FFT plan per window length.
+type SessionDeps struct {
+	// Detector, when non-nil, performs the Step-IV scans. Its Config must
+	// equal cfg.Detect — results would silently diverge from the session's
+	// declared parameters otherwise, so RunACTIONWith rejects a mismatch.
+	// The detector must be safe for concurrent use (detect.Detector is).
+	Detector *detect.Detector
 }
 
 // SessionResult captures one full run of ACTION.
@@ -99,11 +119,30 @@ func decodeLocDiff(data []byte) (locDiffMsg, error) {
 
 // RunACTION executes one complete distance estimation between the
 // authenticating device (linkAuth.local side) and the vouching device over
-// a freshly rendered acoustic scene.
+// a freshly rendered acoustic scene. It is the self-contained form of
+// RunACTIONWith: every session builds its own detector.
 //
 // The returned SessionResult carries both the protocol outcome and the
 // modeled time/energy figures for the efficiency experiment.
 func RunACTION(
+	cfg Config,
+	auth, vouch *device.Device,
+	linkAuth, linkVouch *bluetooth.Link,
+	rng *rand.Rand,
+	extras []ExtraPlay,
+) (*SessionResult, error) {
+	return RunACTIONWith(SessionDeps{}, cfg, auth, vouch, linkAuth, linkVouch, rng, extras)
+}
+
+// RunACTIONWith is RunACTION with injected service context (see
+// SessionDeps). The rng must be private to this session: every draw it
+// makes (signal construction, latency and processing-delay realizations,
+// channel geometry, ambient noise) happens in a fixed sequential order, so
+// a per-session seeded stream makes concurrent sessions bit-identical to
+// serial ones; a stream shared across concurrent sessions would be both a
+// data race and a determinism break.
+func RunACTIONWith(
+	deps SessionDeps,
 	cfg Config,
 	auth, vouch *device.Device,
 	linkAuth, linkVouch *bluetooth.Link,
@@ -118,6 +157,9 @@ func RunACTION(
 	}
 	if rng == nil {
 		return nil, errors.New("core: nil rng")
+	}
+	if deps.Detector != nil && deps.Detector.Config() != cfg.Detect {
+		return nil, errors.New("core: injected detector parameters differ from session config")
 	}
 
 	res := &SessionResult{}
@@ -260,10 +302,15 @@ func RunACTION(
 	// The two devices detect independently on real hardware, so the session
 	// pipeline runs their scans in parallel goroutines; each scan is
 	// deterministic, so the session result stays bit-identical to the
-	// sequential pipeline.
-	det, err := detect.New(cfg.Detect)
-	if err != nil {
-		return nil, err
+	// sequential pipeline. A service-injected detector batches these scans
+	// through its shared worker pool instead of per-session machinery.
+	det := deps.Detector
+	if det == nil {
+		var err error
+		det, err = detect.New(cfg.Detect)
+		if err != nil {
+			return nil, err
+		}
 	}
 	var resAuth, resVouch []detect.Result
 	var errAuth, errVouch error

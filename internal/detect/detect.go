@@ -110,8 +110,23 @@ type Result struct {
 // A Detector is safe for concurrent use and holds pooled per-scan scratch
 // (FFT workspaces and score buffers), so steady-state scans perform no
 // per-window heap allocations. Must not be copied after first use.
+//
+// By default each scan fans out over transient goroutines (≤ GOMAXPROCS).
+// A long-lived service instead attaches a shared Pool (UsePool) and a
+// pinned plan set (UsePlans), so concurrent sessions batch their windows
+// through one bounded worker set and one FFT plan per window length.
+// Scores are always reduced in window order, so the attachment never
+// changes results.
 type Detector struct {
 	cfg Config
+
+	// pool, when non-nil, supplies scan workers instead of per-scan
+	// goroutine fan-out. Set once before first use (UsePool).
+	pool *Pool
+	// plans, when non-nil, resolves FFT plans with a pinned lock-free
+	// lookup instead of the process-wide cache. Set once before first use
+	// (UsePlans).
+	plans *dsp.PlanSet
 
 	// wsPool holds *scanWorkspace values; one is checked out per scan
 	// worker and returned when the scan finishes.
@@ -142,6 +157,15 @@ func New(cfg Config) (*Detector, error) {
 	return &Detector{cfg: cfg}, nil
 }
 
+// UsePool attaches a shared worker pool: scans stop spawning their own
+// goroutines and batch windows through the pool's workers instead. Call
+// before the first scan; a nil pool restores the default fan-out.
+func (d *Detector) UsePool(p *Pool) { d.pool = p }
+
+// UsePlans attaches a pinned FFT plan set (see dsp.PlanSet). Call before
+// the first scan; a nil set restores the process-wide plan cache.
+func (d *Detector) UsePlans(ps *dsp.PlanSet) { d.plans = ps }
+
 // getWorkspace checks a workspace for window length n out of the pool,
 // building one (with the process-shared FFT plan) on a miss or length
 // change.
@@ -154,7 +178,13 @@ func (d *Detector) getWorkspace(n int) (*scanWorkspace, error) {
 		// Window length changed (different signal params): drop the stale
 		// workspace and build a fresh one.
 	}
-	plan, err := dsp.SharedFFTPlan(n)
+	var plan *dsp.FFTPlan
+	var err error
+	if d.plans != nil {
+		plan, err = d.plans.Plan(n)
+	} else {
+		plan, err = dsp.SharedFFTPlan(n)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -379,17 +409,36 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 
 // scanWindows scores the arithmetic window sequence lo, lo+step, … (count
 // windows) against every spec, writing scores[w*len(specs)+s]. Windows are
-// distributed over a bounded worker pool (≤GOMAXPROCS goroutines, one
-// pooled FFT workspace each); every score depends only on its window, so
-// the output is independent of scheduling and the caller's in-order
-// reduction stays bit-identical to a sequential scan.
+// claimed off a shared atomic counter by a bounded set of workers — idle
+// goroutines borrowed from the attached Pool when one is set, transient
+// goroutines (≤ GOMAXPROCS) otherwise — each with one pooled FFT
+// workspace. Every score depends only on its window, so the output is
+// independent of scheduling and the caller's in-order reduction stays
+// bit-identical to a sequential scan.
 func (d *Detector) scanWindows(recording []float64, winLen, lo, step, count int, specs []*sigSpec, scores []float64) error {
-	theta := d.cfg.Theta
-	workers := runtime.GOMAXPROCS(0)
-	if workers > count {
-		workers = count
+	// Bounds guard: the last window is recording[lo+(count-1)*step :
+	// lo+(count-1)*step+winLen]. A recording too short for the requested
+	// sequence used to slice out of range and panic; refuse it instead.
+	if lo < 0 || step < 1 || count < 1 {
+		return fmt.Errorf("detect: invalid window sequence lo=%d step=%d count=%d", lo, step, count)
 	}
-	if workers <= 1 {
+	if last := lo + (count-1)*step; last > len(recording)-winLen {
+		return fmt.Errorf("detect: recording of %d samples too short for window [%d:%d] (lo=%d step=%d count=%d winLen=%d)",
+			len(recording), last, last+winLen, lo, step, count, winLen)
+	}
+
+	theta := d.cfg.Theta
+
+	// Sequential fast path (single-core machines, tiny scans): no helper
+	// goroutines means no closure or synchronization overhead at all.
+	helpers := runtime.GOMAXPROCS(0) - 1
+	if d.pool != nil {
+		helpers = d.pool.Workers()
+	}
+	if helpers > count-1 {
+		helpers = count - 1
+	}
+	if helpers <= 0 {
 		ws, err := d.getWorkspace(winLen)
 		if err != nil {
 			return err
@@ -408,36 +457,59 @@ func (d *Detector) scanWindows(recording []float64, winLen, lo, step, count int,
 	}
 
 	var next atomic.Int64
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			ws, err := d.getWorkspace(winLen)
-			if err != nil {
-				errs[g] = err
+	var errMu sync.Mutex
+	var scanErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if scanErr == nil {
+			scanErr = err
+		}
+		errMu.Unlock()
+		next.Store(int64(count)) // stop remaining claims
+	}
+	work := func() {
+		ws, err := d.getWorkspace(winLen)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer d.wsPool.Put(ws)
+		for {
+			w := int(next.Add(1)) - 1
+			if w >= count {
 				return
 			}
-			defer d.wsPool.Put(ws)
-			for {
-				w := int(next.Add(1)) - 1
-				if w >= count {
-					return
-				}
-				i := lo + w*step
-				if err := ws.plan.PowerSpectrumInto(ws.spec, recording[i:i+winLen], ws.scratch); err != nil {
-					errs[g] = err
-					return
-				}
-				for s, ss := range specs {
-					scores[w*len(specs)+s] = ss.normPower(ws.spec, theta)
-				}
+			i := lo + w*step
+			if err := ws.plan.PowerSpectrumInto(ws.spec, recording[i:i+winLen], ws.scratch); err != nil {
+				fail(err)
+				return
 			}
-		}(g)
+			for s, ss := range specs {
+				scores[w*len(specs)+s] = ss.normPower(ws.spec, theta)
+			}
+		}
 	}
+
+	// The submitting goroutine always participates; extra workers join up
+	// to the bound. With a pool attached only idle pool workers join (a
+	// busy pool never blocks a scan); without one, transient goroutines
+	// are spawned as before.
+	var wg sync.WaitGroup
+	for g := 0; g < helpers; g++ {
+		if d.pool != nil {
+			wg.Add(1)
+			if !d.pool.offer(func() { defer wg.Done(); work() }) {
+				wg.Done()
+				break // pool saturated; stop recruiting
+			}
+		} else {
+			wg.Add(1)
+			go func() { defer wg.Done(); work() }()
+		}
+	}
+	work()
 	wg.Wait()
-	return errors.Join(errs...)
+	return scanErr
 }
 
 // DetectCrossCorrelation locates a reference signal using plain normalized

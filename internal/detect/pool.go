@@ -1,0 +1,83 @@
+package detect
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a long-lived, bounded set of scan workers that many Detectors —
+// and many concurrent authentication sessions — can share. A service
+// creates one Pool sized to the machine and attaches it to a shared
+// Detector (Detector.UsePool); every scan then batches its windows through
+// the same workers, instead of each scan spawning its own goroutine
+// fan-out. Because workers are shared, the total scan concurrency across
+// any number of concurrent sessions stays bounded by the pool size (plus
+// one submitting goroutine per in-flight scan, which always participates
+// in its own scan).
+//
+// Work distribution is cooperative: a scan offers work to idle pool
+// workers only and never blocks waiting for one, so a saturated pool
+// degrades to the submitter scanning alone — throughput degrades smoothly
+// and deadlock is impossible. Window scores are written by window index,
+// so how many workers join a scan never changes its result.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewPool starts a pool with the given number of workers (≤ 0 means
+// GOMAXPROCS). Close it when the owning service shuts down.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func()),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case <-p.done:
+			return
+		case fn := <-p.tasks:
+			fn()
+		}
+	}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// offer hands fn to an idle worker. It never blocks: when every worker is
+// busy (or the pool is closed) it returns false and the caller runs the
+// work itself.
+func (p *Pool) offer(fn func()) bool {
+	select {
+	case <-p.done:
+		return false
+	default:
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops the workers. In-flight work finishes; subsequent offers are
+// declined, so scans submitted after Close still complete on the
+// submitting goroutine. Close is idempotent.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.done) })
+}

@@ -1,0 +1,206 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/acoustic-auth/piano/internal/dsp"
+	"github.com/acoustic-auth/piano/internal/sigref"
+)
+
+// TestScanWindowsBoundsGuard is the truncated-recording regression test:
+// scanWindows used to trust its caller and slice recording[i:i+winLen]
+// unchecked, so a window sequence extending past the recording end
+// panicked with an out-of-range slice. It must return an error instead.
+func TestScanWindowsBoundsGuard(t *testing.T) {
+	p := sigref.DefaultParams()
+	rng := rand.New(rand.NewSource(7))
+	sig, err := sigref.New(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := det.newSigSpec(sig)
+
+	// A window sequence sized for a 30000-sample recording, handed a
+	// truncated one: lo + (count-1)*step + winLen = 24096 > 20000.
+	truncated := make([]float64, 20000)
+	scores := make([]float64, 21)
+	err = det.scanWindows(truncated, p.Length, 0, 1000, 21, []*sigSpec{spec}, scores)
+	if err == nil {
+		t.Fatal("scanWindows accepted a window sequence past the recording end")
+	}
+	if !strings.Contains(err.Error(), "too short") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// Degenerate sequences are refused too.
+	if err := det.scanWindows(truncated, p.Length, -1, 1000, 1, []*sigSpec{spec}, scores); err == nil {
+		t.Fatal("negative lo accepted")
+	}
+	if err := det.scanWindows(truncated, p.Length, 0, 0, 1, []*sigSpec{spec}, scores); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if err := det.scanWindows(truncated, p.Length, 0, 1000, 0, []*sigSpec{spec}, scores); err == nil {
+		t.Fatal("zero count accepted")
+	}
+
+	// The exported surface rejects too-short recordings outright.
+	if _, err := det.Detect(make([]float64, p.Length-1), sig); err == nil {
+		t.Fatal("Detect accepted a recording shorter than the window")
+	}
+	if _, err := det.DetectAll(make([]float64, p.Length-1), sig, sig); err == nil {
+		t.Fatal("DetectAll accepted a recording shorter than the window")
+	}
+}
+
+// TestPooledScanMatchesUnpooled: attaching a shared Pool (and pinned plan
+// set) must not change any detection output bit.
+func TestPooledScanMatchesUnpooled(t *testing.T) {
+	p := sigref.DefaultParams()
+	rng := rand.New(rand.NewSource(11))
+	sigA, err := sigref.New(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigB, err := sigref.New(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := plantSignal(sigA, 40000, 6000, 0.5)
+	for i, v := range plantSignal(sigB, 40000, 21000, 0.5) {
+		rec[i] += v
+	}
+
+	plain, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.DetectAll(rec, sigA, sigB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewPool(4)
+	defer pool.Close()
+	plans, err := dsp.NewPlanSet(p.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled.UsePool(pool)
+	pooled.UsePlans(plans)
+
+	for trial := 0; trial < 3; trial++ {
+		got, err := pooled.DetectAll(rec, sigA, sigB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d signal %d: pooled %+v != unpooled %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPooledScanConcurrentSessions: many goroutines sharing one pooled
+// Detector must each get the same answer they'd get alone (run under
+// -race in CI).
+func TestPooledScanConcurrentSessions(t *testing.T) {
+	p := sigref.DefaultParams()
+	det, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(3)
+	defer pool.Close()
+	det.UsePool(pool)
+
+	type job struct {
+		sig  *sigref.Signal
+		rec  []float64
+		want Result
+	}
+	jobs := make([]job, 6)
+	for i := range jobs {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		sig, err := sigref.New(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := plantSignal(sig, 30000, 2000+3000*i, 0.5)
+		want, err := det.Detect(rec, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Found {
+			t.Fatalf("job %d: planted signal not found", i)
+		}
+		jobs[i] = job{sig: sig, rec: rec, want: want}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(jobs))
+	got := make([]Result, len(jobs))
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = det.Detect(jobs[i].rec, jobs[i].sig)
+		}(i)
+	}
+	wg.Wait()
+	for i := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if got[i] != jobs[i].want {
+			t.Fatalf("job %d: concurrent %+v != serial %+v", i, got[i], jobs[i].want)
+		}
+	}
+}
+
+// TestPoolCloseDegradesGracefully: a closed pool declines work, and scans
+// complete on the submitting goroutine with identical results.
+func TestPoolCloseDegradesGracefully(t *testing.T) {
+	p := sigref.DefaultParams()
+	rng := rand.New(rand.NewSource(13))
+	sig, err := sigref.New(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := plantSignal(sig, 25000, 4000, 0.5)
+
+	det, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(2)
+	det.UsePool(pool)
+	want, err := det.Detect(rec, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	pool.Close() // idempotent
+	got, err := det.Detect(rec, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("after Close %+v != before %+v", got, want)
+	}
+	if math.IsInf(got.Power, 1) {
+		t.Fatal("nonsense power")
+	}
+}

@@ -69,6 +69,26 @@ type Device struct {
 	clock *simclock.Clock
 }
 
+// NewSessionDevice builds a protocol device the way every PIANO session
+// entry point does: 44.1 kHz audio path (the paper's Android maximum) and
+// the commodity-smartphone processing-delay model. The serial Deployment
+// path and the batched service share this constructor so their sessions
+// stay bit-identical by construction. An empty name falls back to
+// fallback.
+func NewSessionDevice(name, fallback string, x, y float64, room int, clockSkewPPM float64) (*Device, error) {
+	if name == "" {
+		name = fallback
+	}
+	return New(Config{
+		Name:         name,
+		Position:     [2]float64{x, y},
+		Room:         room,
+		SampleRate:   44100,
+		ClockSkewPPM: clockSkewPPM,
+		ProcDelay:    DefaultProcessingDelay(),
+	})
+}
+
 // New validates cfg and builds a Device.
 func New(cfg Config) (*Device, error) {
 	if cfg.Name == "" {

@@ -1,0 +1,53 @@
+package dsp
+
+import "sort"
+
+// PlanSet is a set of FFT plans pinned at construction time for a known
+// collection of window lengths. Long-lived services build one per
+// deployment so every hot-path transform resolves its plan with a plain
+// (lock-free) map lookup instead of going through the process-wide
+// sync.Map in SharedFFTPlan.
+//
+// The set is immutable after construction and safe for concurrent use.
+// Lookups for lengths that were not pinned fall back to SharedFFTPlan, so
+// a PlanSet is always a safe drop-in plan source.
+type PlanSet struct {
+	plans map[int]*FFTPlan
+}
+
+// NewPlanSet builds and pins one shared plan per distinct length. Lengths
+// must satisfy the FFTPlan constraints (power of two, ≥ 2); duplicates are
+// collapsed.
+func NewPlanSet(lengths ...int) (*PlanSet, error) {
+	s := &PlanSet{plans: make(map[int]*FFTPlan, len(lengths))}
+	for _, n := range lengths {
+		if _, ok := s.plans[n]; ok {
+			continue
+		}
+		p, err := SharedFFTPlan(n)
+		if err != nil {
+			return nil, err
+		}
+		s.plans[n] = p
+	}
+	return s, nil
+}
+
+// Plan returns the pinned plan for length n, falling back to the
+// process-wide cache for lengths the set was not built with.
+func (s *PlanSet) Plan(n int) (*FFTPlan, error) {
+	if p, ok := s.plans[n]; ok {
+		return p, nil
+	}
+	return SharedFFTPlan(n)
+}
+
+// Lengths returns the pinned lengths in ascending order.
+func (s *PlanSet) Lengths() []int {
+	out := make([]int, 0, len(s.plans))
+	for n := range s.plans {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,38 @@
+package dsp
+
+import "testing"
+
+func TestPlanSetPinsAndFallsBack(t *testing.T) {
+	s, err := NewPlanSet(1024, 4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Lengths(); len(got) != 2 || got[0] != 1024 || got[1] != 4096 {
+		t.Fatalf("lengths = %v", got)
+	}
+	p, err := s.Plan(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := SharedFFTPlan(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != shared {
+		t.Fatal("pinned plan is not the shared instance")
+	}
+	// Unpinned length falls back to the process cache.
+	fb, err := s.Plan(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.N() != 512 {
+		t.Fatalf("fallback plan length %d", fb.N())
+	}
+}
+
+func TestPlanSetRejectsBadLength(t *testing.T) {
+	if _, err := NewPlanSet(1000); err == nil {
+		t.Fatal("non-power-of-two length accepted")
+	}
+}

@@ -1,0 +1,272 @@
+// Package service turns the per-call PIANO session machinery into a
+// long-lived, concurrency-safe authentication service — the batched
+// multi-session server the always-on voice-powered hub deployment needs.
+//
+// One AuthService owns, for its whole lifetime:
+//
+//   - a bounded detect.Pool of scan workers, shared by every session, so
+//     concurrent sessions batch their Step-IV windows through one worker
+//     set instead of each fanning out its own goroutines;
+//   - one shared detect.Detector, whose pooled FFT workspaces and score
+//     buffers are recycled across sessions (scratch stays pooled, caches
+//     stay hot);
+//   - a dsp.PlanSet pinning one FFT plan per window length the configured
+//     signal design can produce, resolved lock-free on the hot path.
+//
+// Each Authenticate call is one complete PIANO session: it builds the
+// requested device pair, pairs it over simulated Bluetooth, and runs the
+// ACTION protocol with a session-private seeded RNG stream. Because every
+// random draw a session makes comes from its own stream, and window scores
+// reduce in window order regardless of which pool workers computed them,
+// a session's result is bit-identical to running the same request through
+// the serial piano.Deployment path — at any concurrency level.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/acoustic-auth/piano/internal/acoustic"
+	"github.com/acoustic-auth/piano/internal/attack"
+	"github.com/acoustic-auth/piano/internal/core"
+	"github.com/acoustic-auth/piano/internal/detect"
+	"github.com/acoustic-auth/piano/internal/device"
+	"github.com/acoustic-auth/piano/internal/dsp"
+)
+
+// ErrClosed is returned by Authenticate after Close.
+var ErrClosed = errors.New("service: closed")
+
+// Config configures a long-lived AuthService.
+type Config struct {
+	// Core is the base session configuration (signal design, detection
+	// parameters, scene, timing). Per-request threshold and environment
+	// overrides apply on top; everything that shapes detection is fixed
+	// for the service lifetime so the shared detector matches every
+	// session.
+	Core core.Config
+	// Workers sizes the shared detect worker pool (≤ 0 → GOMAXPROCS).
+	Workers int
+	// MaxSessions bounds the number of concurrently running sessions
+	// (≤ 0 → 4 × Workers). Excess Authenticate calls block until a slot
+	// frees up, which keeps memory and goroutine counts flat under burst
+	// load.
+	MaxSessions int
+}
+
+// DeviceSpec describes one session device's placement and hardware quirks
+// (mirrors the public piano.DeviceSpec).
+type DeviceSpec struct {
+	Name         string
+	X, Y         float64
+	Room         int
+	ClockSkewPPM float64
+}
+
+// Request is one authentication session: a device pair, an optional set of
+// interfering PIANO users, and the session seed.
+type Request struct {
+	// Auth and Vouch are the authenticating and vouching devices.
+	Auth, Vouch DeviceSpec
+	// Interferers are other PIANO users' devices in the scene; during the
+	// session each plays two randomized reference signals at random times
+	// (the Fig. 2a multi-user scenario). They are placed in the
+	// authenticating device's room.
+	Interferers []DeviceSpec
+	// Seed drives every random draw of this session (0 → 1). Equal
+	// requests with equal seeds produce bit-identical results, serial or
+	// concurrent.
+	Seed int64
+	// ThresholdM overrides the service's τ for this session (0 → service
+	// default).
+	ThresholdM float64
+	// Environment overrides the ambient scenario (0 → service default).
+	Environment acoustic.Environment
+}
+
+// AuthService is the long-lived batched authentication server. It is safe
+// for concurrent use; sessions run concurrently up to MaxSessions while
+// sharing one detect worker pool and one pinned FFT plan set.
+type AuthService struct {
+	cfg   Config
+	pool  *detect.Pool
+	det   *detect.Detector
+	plans *dsp.PlanSet
+
+	sem chan struct{} // session slots
+
+	mu       sync.Mutex
+	closed   bool
+	inFlight sync.WaitGroup
+	sessions uint64
+}
+
+// New validates cfg and builds the service: the worker pool is started,
+// the FFT plan for the configured window length is built and pinned, and
+// the shared detector is attached to both.
+func New(cfg Config) (*AuthService, error) {
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 4 * cfg.Workers
+	}
+	plans, err := dsp.NewPlanSet(cfg.Core.Signal.Length)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	det, err := detect.New(cfg.Core.Detect)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	pool := detect.NewPool(cfg.Workers)
+	det.UsePool(pool)
+	det.UsePlans(plans)
+	return &AuthService{
+		cfg:   cfg,
+		pool:  pool,
+		det:   det,
+		plans: plans,
+		sem:   make(chan struct{}, cfg.MaxSessions),
+	}, nil
+}
+
+// Config returns the service configuration (after defaulting).
+func (s *AuthService) Config() Config { return s.cfg }
+
+// Sessions returns the number of sessions completed successfully so far
+// (requests that failed validation or errored out are not counted).
+func (s *AuthService) Sessions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions
+}
+
+// begin reserves a session slot; it blocks while MaxSessions sessions are
+// in flight and fails once the service is closed.
+func (s *AuthService) begin() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.inFlight.Add(1)
+	s.mu.Unlock()
+	s.sem <- struct{}{}
+	return nil
+}
+
+func (s *AuthService) end() {
+	<-s.sem
+	s.inFlight.Done()
+}
+
+// sessionConfig applies a request's overrides to the base config.
+func (s *AuthService) sessionConfig(req Request) core.Config {
+	cfg := s.cfg.Core
+	if req.ThresholdM > 0 {
+		cfg.ThresholdM = req.ThresholdM
+	}
+	if req.Environment != 0 {
+		cfg.World.Environment = req.Environment
+	}
+	return cfg
+}
+
+// Authenticate runs one complete PIANO session and returns the access
+// decision. It blocks while the service is at its concurrent-session
+// bound. The session's scans are batched through the service's shared
+// worker pool; its result is bit-identical to a serial run of the same
+// request.
+func (s *AuthService) Authenticate(req Request) (*core.Result, error) {
+	// τ is an access-control parameter: reject nonsense instead of
+	// silently deciding at the service default (0 means "use default").
+	if req.ThresholdM < 0 {
+		return nil, fmt.Errorf("service: threshold %g m must be positive (or 0 for the service default)", req.ThresholdM)
+	}
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+
+	cfg := s.sessionConfig(req)
+
+	// Shared with piano.NewDeployment (device.NewSessionDevice) so service
+	// sessions build devices identically to the serial path.
+	mk := func(spec DeviceSpec, fallback string) (*device.Device, error) {
+		return device.NewSessionDevice(spec.Name, fallback, spec.X, spec.Y, spec.Room, spec.ClockSkewPPM)
+	}
+	auth, err := mk(req.Auth, "authenticating-device")
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	vouch, err := mk(req.Vouch, "vouching-device")
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	interferers := make([]*device.Device, 0, len(req.Interferers))
+	for i, spec := range req.Interferers {
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("interferer-%d", i+1)
+		}
+		dev, err := attack.NewAttackerDevice(name, [2]float64{spec.X, spec.Y}, req.Auth.Room)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		interferers = append(interferers, dev)
+	}
+
+	// The session-private RNG stream: every draw this session makes —
+	// interference schedules, reference-signal construction, latency and
+	// processing-delay realizations, channel geometry, ambient noise —
+	// comes from here, in the same order as the serial Deployment path,
+	// which is what makes concurrent results bit-identical to serial ones.
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	a, err := core.NewAuthenticator(cfg, auth, vouch, rng)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	a.UseDetector(s.det)
+
+	var plays []core.ExtraPlay
+	if len(interferers) > 0 {
+		plays, err = attack.Interference(cfg.Signal, interferers, rng)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	}
+	res, err := a.Authenticate(plays...)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s.mu.Lock()
+	s.sessions++
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Close drains in-flight sessions and stops the worker pool. Subsequent
+// Authenticate calls return ErrClosed. Close is idempotent.
+func (s *AuthService) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inFlight.Wait()
+	s.pool.Close()
+}

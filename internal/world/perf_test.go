@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 
 	"github.com/acoustic-auth/piano/internal/device"
@@ -134,6 +135,72 @@ func TestSchedulePlayAliasesCallerSlice(t *testing.T) {
 	if &w.plays[0].samples[0] != &samples[0] {
 		t.Fatal("SchedulePlay copied the samples; the ownership contract says it must alias")
 	}
+}
+
+// TestRenderDoesNotMutateScheduledSamples pins the other half of the
+// ownership contract: the world only ever reads a scheduled slice, so a
+// caller may safely share one immutable waveform across several plays
+// (buildScene schedules the same tone twice) and reuse it after Render —
+// what it must not do is write to it before Render.
+func TestRenderDoesNotMutateScheduledSamples(t *testing.T) {
+	w := buildScene(t, 51, 2)
+	scheduled := w.plays[0].samples
+	if &scheduled[0] != &w.plays[1].samples[0] {
+		t.Fatal("buildScene no longer shares one slice across plays; update this test")
+	}
+	before := append([]float64(nil), scheduled...)
+	if _, err := w.Render(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if scheduled[i] != before[i] {
+			t.Fatalf("Render mutated scheduled samples at %d: %g != %g", i, scheduled[i], before[i])
+		}
+	}
+}
+
+// TestConcurrentRendersAreIsolated: concurrent sessions each own a World
+// and an RNG stream; rendering them in parallel must be race-free and give
+// every scene the same recording it gets when rendered alone (run under
+// -race in CI).
+func TestConcurrentRendersAreIsolated(t *testing.T) {
+	recordingOf := func(w *World, name string) []int16 {
+		recs, err := w.Render()
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		for dev, buf := range recs {
+			if dev.Name() == name {
+				return buf.Samples
+			}
+		}
+		t.Errorf("device %q not rendered", name)
+		return nil
+	}
+	serial := make([][]int16, 4)
+	for i := range serial {
+		serial[i] = append([]int16(nil), recordingOf(buildScene(t, int64(60+i), 2), "a")...)
+	}
+	var wg sync.WaitGroup
+	for i := range serial {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got := recordingOf(buildScene(t, int64(60+i), 2), "a")
+			if len(got) != len(serial[i]) {
+				t.Errorf("scene %d: length %d != serial %d", i, len(got), len(serial[i]))
+				return
+			}
+			for k := range got {
+				if got[k] != serial[i][k] {
+					t.Errorf("scene %d: sample %d differs under concurrency", i, k)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
 }
 
 func BenchmarkRender(b *testing.B) {

@@ -56,10 +56,19 @@ type playEvent struct {
 	startSec float64 // global time sound leaves the speaker
 }
 
-// World is a single acoustic scene.
+// World is a single acoustic scene. A World belongs to one session: build
+// it, add devices, schedule plays, render, discard. Concurrent sessions
+// must each use their own World with their own seeded RNG stream — the
+// scene RNG is consumed in a defined sequential order during Render, which
+// is what makes a seeded session reproducible. As a safety net the RNG
+// draw phase is serialized under an internal lock, so a World erroneously
+// shared between goroutines corrupts determinism but not memory.
 type World struct {
 	cfg     Config
 	profile acoustic.Profile
+	// mu serializes the Render draw phase (the only consumer of rng once
+	// the scene is built).
+	mu      sync.Mutex
 	rng     *rand.Rand
 	devices []*device.Device
 	// members mirrors devices for O(1) membership checks in AddDevice and
@@ -146,32 +155,9 @@ type renderJob struct {
 // cascades and windowed-sinc tap mixing, which dominate render cost and
 // touch no shared state — runs each device on a bounded worker pool.
 func (w *World) Render() (map[*device.Device]*audio.Buffer, error) {
-	jobs := make([]renderJob, len(w.devices))
-	for di, dst := range w.devices {
-		job := renderJob{
-			dst:   dst,
-			n:     int(w.cfg.DurationSec * dst.Clock().TrueRate()),
-			paths: make([]*acoustic.Path, len(w.plays)),
-		}
-		for pi, play := range w.plays {
-			distance := play.src.DistanceTo(dst)
-			sameRoom := play.src.SameRoom(dst)
-			if play.src == dst {
-				distance = dst.SelfDistance()
-				sameRoom = true
-			}
-			path, err := acoustic.NewPath(w.cfg.Channel, w.profile, distance, sameRoom, w.cfg.SampleRate, w.rng)
-			if err != nil {
-				return nil, fmt.Errorf("world: render for %q: %w", dst.Name(), err)
-			}
-			job.paths[pi] = path
-		}
-		noise, err := w.profile.GenerateNoise(dst.Clock().TrueRate(), job.n, w.rng)
-		if err != nil {
-			return nil, fmt.Errorf("world: render for %q: %w", dst.Name(), err)
-		}
-		job.noise = noise
-		jobs[di] = job
+	jobs, err := w.drawJobs()
+	if err != nil {
+		return nil, err
 	}
 
 	bufs := make([]*audio.Buffer, len(jobs))
@@ -203,6 +189,42 @@ func (w *World) Render() (map[*device.Device]*audio.Buffer, error) {
 		out[dst] = bufs[di]
 	}
 	return out, nil
+}
+
+// drawJobs is Render's phase one: walk devices sequentially and draw
+// everything random (channel paths, ambient noise) from the scene RNG in
+// the historical order, under the scene lock.
+func (w *World) drawJobs() ([]renderJob, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	jobs := make([]renderJob, len(w.devices))
+	for di, dst := range w.devices {
+		job := renderJob{
+			dst:   dst,
+			n:     int(w.cfg.DurationSec * dst.Clock().TrueRate()),
+			paths: make([]*acoustic.Path, len(w.plays)),
+		}
+		for pi, play := range w.plays {
+			distance := play.src.DistanceTo(dst)
+			sameRoom := play.src.SameRoom(dst)
+			if play.src == dst {
+				distance = dst.SelfDistance()
+				sameRoom = true
+			}
+			path, err := acoustic.NewPath(w.cfg.Channel, w.profile, distance, sameRoom, w.cfg.SampleRate, w.rng)
+			if err != nil {
+				return nil, fmt.Errorf("world: render for %q: %w", dst.Name(), err)
+			}
+			job.paths[pi] = path
+		}
+		noise, err := w.profile.GenerateNoise(dst.Clock().TrueRate(), job.n, w.rng)
+		if err != nil {
+			return nil, fmt.Errorf("world: render for %q: %w", dst.Name(), err)
+		}
+		job.noise = noise
+		jobs[di] = job
+	}
+	return jobs, nil
 }
 
 // mix computes one microphone's recording from pre-drawn randomness. It is

@@ -18,12 +18,32 @@
 //	...
 //	dec, err := dep.Authenticate()
 //	if dec.Granted { ... }
+//
+// # Serving many users
+//
+// A Deployment is one pairing running one session at a time. Always-on
+// hubs that authenticate many users concurrently use a Service instead: a
+// long-lived server that accepts concurrent Authenticate calls and batches
+// every session's signal-detection work through one bounded worker pool
+// with FFT plans pinned per window length. Each session keeps its own
+// seeded RNG stream, so its decision is bit-identical to running the same
+// request through a Deployment — at any concurrency level.
+//
+//	svc, err := piano.NewService(piano.DefaultServiceConfig())
+//	...
+//	defer svc.Close()
+//	dec, err := svc.Authenticate(piano.AuthRequest{
+//	    Auth:  piano.DeviceSpec{Name: "hub", X: 0, Y: 0},
+//	    Vouch: piano.DeviceSpec{Name: "watch", X: 0.8, Y: 0},
+//	    Seed:  42,
+//	})
 package piano
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/acoustic-auth/piano/internal/acoustic"
 	"github.com/acoustic-auth/piano/internal/attack"
@@ -144,9 +164,20 @@ type EnergyReport struct {
 
 // Deployment is a registered PIANO pairing: an authenticating device
 // guarded by a vouching device inside a simulated acoustic scene.
+//
+// A Deployment is safe for concurrent use, but its sessions serialize
+// under an internal lock: each authentication resets the devices' clocks
+// and draws from the deployment's single RNG stream, so only one session
+// can be in flight per pairing (exactly as on real hardware, where one
+// speaker pair runs one protocol at a time). To run many sessions
+// concurrently, use a Service, which gives every session its own RNG
+// stream and batches them through shared detection machinery.
 type Deployment struct {
-	cfg         Config
-	coreCfg     core.Config
+	cfg     Config
+	coreCfg core.Config
+	// mu serializes sessions: device clock resets and RNG draws inside a
+	// session must not interleave with another session's.
+	mu          sync.Mutex
 	auth, vouch *device.Device
 	a           *core.Authenticator
 	rng         *rand.Rand
@@ -173,18 +204,7 @@ func NewDeployment(cfg Config, authSpec, vouchSpec DeviceSpec) (*Deployment, err
 	coreCfg.ThresholdM = cfg.ThresholdM
 
 	mk := func(spec DeviceSpec, fallback string) (*device.Device, error) {
-		name := spec.Name
-		if name == "" {
-			name = fallback
-		}
-		return device.New(device.Config{
-			Name:         name,
-			Position:     [2]float64{spec.X, spec.Y},
-			Room:         spec.Room,
-			SampleRate:   44100,
-			ClockSkewPPM: spec.ClockSkewPPM,
-			ProcDelay:    device.DefaultProcessingDelay(),
-		})
+		return device.NewSessionDevice(spec.Name, fallback, spec.X, spec.Y, spec.Room, spec.ClockSkewPPM)
 	}
 	auth, err := mk(authSpec, "authenticating-device")
 	if err != nil {
@@ -219,6 +239,8 @@ func NewDeployment(cfg Config, authSpec, vouchSpec DeviceSpec) (*Deployment, err
 
 // SetThreshold tunes τ (personalization; 0.5 m for cautious users, etc.).
 func (d *Deployment) SetThreshold(m float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.a.SetThreshold(m); err != nil {
 		return fmt.Errorf("piano: %w", err)
 	}
@@ -226,23 +248,35 @@ func (d *Deployment) SetThreshold(m float64) error {
 }
 
 // Threshold returns the current τ.
-func (d *Deployment) Threshold() float64 { return d.a.Config().ThresholdM }
+func (d *Deployment) Threshold() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.a.Config().ThresholdM
+}
 
 // MoveVouchingDevice relocates the vouching device (the user walked
 // somewhere, possibly into another room).
 func (d *Deployment) MoveVouchingDevice(x, y float64, room int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.vouch.SetPosition([2]float64{x, y})
 	d.vouch.SetRoom(room)
 }
 
 // MoveAuthDevice relocates the authenticating device.
 func (d *Deployment) MoveAuthDevice(x, y float64, room int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.auth.SetPosition([2]float64{x, y})
 	d.auth.SetRoom(room)
 }
 
 // TrueDistance returns the actual geometric distance between the devices.
-func (d *Deployment) TrueDistance() float64 { return d.auth.DistanceTo(d.vouch) }
+func (d *Deployment) TrueDistance() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.auth.DistanceTo(d.vouch)
+}
 
 // AddInterferer places another PIANO user's device in the scene. During
 // every subsequent authentication it plays its own randomized reference
@@ -251,6 +285,8 @@ func (d *Deployment) AddInterferer(name string, x, y float64) error {
 	if name == "" {
 		return errors.New("piano: interferer needs a name")
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	dev, err := attack.NewAttackerDevice(name, [2]float64{x, y}, d.auth.Room())
 	if err != nil {
 		return fmt.Errorf("piano: %w", err)
@@ -271,8 +307,11 @@ func (d *Deployment) extraPlays() ([]core.ExtraPlay, error) {
 	return plays, nil
 }
 
-// Authenticate runs one complete PIANO authentication.
+// Authenticate runs one complete PIANO authentication. Concurrent calls
+// serialize (see Deployment).
 func (d *Deployment) Authenticate() (*Decision, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	plays, err := d.extraPlays()
 	if err != nil {
 		return nil, err
@@ -290,8 +329,10 @@ func (d *Deployment) Authenticate() (*Decision, error) {
 }
 
 // MeasureDistance runs the ACTION protocol once without an access
-// decision.
+// decision. Concurrent calls serialize (see Deployment).
 func (d *Deployment) MeasureDistance() (*Measurement, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	plays, err := d.extraPlays()
 	if err != nil {
 		return nil, err
@@ -307,6 +348,8 @@ func (d *Deployment) MeasureDistance() (*Measurement, error) {
 // Energy returns the consumption report (zero-valued when the deployment
 // was created without TrackEnergy).
 func (d *Deployment) Energy() EnergyReport {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.ledger == nil {
 		return EnergyReport{Authentications: d.authCount}
 	}

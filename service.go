@@ -1,0 +1,123 @@
+package piano
+
+import (
+	"fmt"
+
+	"github.com/acoustic-auth/piano/internal/acoustic"
+	"github.com/acoustic-auth/piano/internal/core"
+	"github.com/acoustic-auth/piano/internal/service"
+)
+
+// ServiceConfig configures a long-lived authentication Service.
+type ServiceConfig struct {
+	// Environment is the default ambient scenario (requests may override).
+	// Default: Office.
+	Environment Environment
+	// ThresholdM is the default authentication threshold τ in meters
+	// (requests may override). Default: 1.0.
+	ThresholdM float64
+	// Workers sizes the shared detection worker pool. Default: GOMAXPROCS.
+	Workers int
+	// MaxSessions bounds how many sessions run concurrently; further
+	// Authenticate calls block until a slot frees. Default: 4 × Workers.
+	MaxSessions int
+}
+
+// DefaultServiceConfig mirrors DefaultConfig for the service surface:
+// office scenario, τ = 1 m, pool sized to the machine.
+func DefaultServiceConfig() ServiceConfig {
+	return ServiceConfig{Environment: Office, ThresholdM: 1.0}
+}
+
+// AuthRequest is one authentication session submitted to a Service.
+type AuthRequest struct {
+	// Auth and Vouch place the authenticating and vouching devices.
+	Auth, Vouch DeviceSpec
+	// Interferers are other PIANO users' devices sharing the space; each
+	// plays two randomized reference signals at random times during the
+	// session (the multi-user scenario of Fig. 2a).
+	Interferers []DeviceSpec
+	// Seed drives all of this session's randomness (0 → 1). Equal
+	// requests with equal seeds decide identically, no matter how many
+	// other sessions run at the same time.
+	Seed int64
+	// ThresholdM overrides the service's τ for this session (0 → service
+	// default).
+	ThresholdM float64
+	// Environment overrides the ambient scenario (0 → service default).
+	Environment Environment
+}
+
+// Service is a long-lived, concurrency-safe PIANO authentication server —
+// the deployment shape of an always-on voice-powered hub serving many
+// users. Unlike a Deployment (one pairing, one session at a time), a
+// Service accepts concurrent Authenticate calls and batches all of their
+// signal-detection work through one bounded worker pool with FFT plans
+// pinned per window length, so scratch buffers stay pooled and caches stay
+// hot under load. Every session still gets its own seeded RNG stream:
+// results are bit-identical to running the same request serially.
+type Service struct {
+	svc *service.AuthService
+}
+
+// NewService builds and starts a Service.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.Environment == 0 {
+		cfg.Environment = Office
+	}
+	if cfg.ThresholdM == 0 {
+		cfg.ThresholdM = 1.0
+	}
+	coreCfg := core.DefaultConfig()
+	coreCfg.World.Environment = cfg.Environment.internal()
+	coreCfg.ThresholdM = cfg.ThresholdM
+	svc, err := service.New(service.Config{
+		Core:        coreCfg,
+		Workers:     cfg.Workers,
+		MaxSessions: cfg.MaxSessions,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("piano: %w", err)
+	}
+	return &Service{svc: svc}, nil
+}
+
+// Authenticate runs one complete PIANO session for the requested device
+// pair and returns the access decision. Safe to call from any number of
+// goroutines; calls beyond the configured concurrency bound block until a
+// session slot frees up.
+func (s *Service) Authenticate(req AuthRequest) (*Decision, error) {
+	var env acoustic.Environment
+	if req.Environment != 0 {
+		env = req.Environment.internal()
+	}
+	conv := func(d DeviceSpec) service.DeviceSpec {
+		return service.DeviceSpec{Name: d.Name, X: d.X, Y: d.Y, Room: d.Room, ClockSkewPPM: d.ClockSkewPPM}
+	}
+	sreq := service.Request{
+		Auth:        conv(req.Auth),
+		Vouch:       conv(req.Vouch),
+		Seed:        req.Seed,
+		ThresholdM:  req.ThresholdM,
+		Environment: env,
+	}
+	for _, in := range req.Interferers {
+		sreq.Interferers = append(sreq.Interferers, conv(in))
+	}
+	res, err := s.svc.Authenticate(sreq)
+	if err != nil {
+		return nil, fmt.Errorf("piano: %w", err)
+	}
+	dec := &Decision{Granted: res.Granted, Reason: res.Reason, DistanceM: res.DistanceM}
+	if res.Session != nil {
+		dec.AuthTimeSec = res.Session.AuthTimeSec
+	}
+	return dec, nil
+}
+
+// Sessions returns the number of sessions the service has completed.
+func (s *Service) Sessions() uint64 { return s.svc.Sessions() }
+
+// Close drains in-flight sessions and releases the service's workers.
+// Subsequent Authenticate calls fail.
+func (s *Service) Close() { s.svc.Close() }

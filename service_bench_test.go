@@ -1,0 +1,75 @@
+package piano
+
+import (
+	"sync"
+	"testing"
+)
+
+// benchRequests is the BenchmarkService workload: 8 device pairs at
+// staggered distances, one session each.
+func benchRequests() []AuthRequest {
+	reqs := make([]AuthRequest, 8)
+	for i := range reqs {
+		reqs[i] = AuthRequest{
+			Auth:  DeviceSpec{Name: "hub", X: 0, Y: 0, ClockSkewPPM: float64(4 + i)},
+			Vouch: DeviceSpec{Name: "watch", X: 0.3 + 0.12*float64(i), Y: 0, ClockSkewPPM: -float64(6 + i)},
+			Seed:  int64(500 + i),
+		}
+	}
+	return reqs
+}
+
+// BenchmarkService compares session throughput of the serial
+// one-Deployment-at-a-time path against the batched Service with all 8
+// sessions in flight (the ISSUE-2 acceptance workload). One benchmark
+// iteration = 8 sessions; sessions/op is what to compare. On a 1-core
+// machine the two run at parity (the service's win there is pooled scratch,
+// not parallelism); the concurrent variant scales with cores. Recorded
+// numbers live in BENCH_service.json / PERFORMANCE.md.
+func BenchmarkService(b *testing.B) {
+	reqs := benchRequests()
+
+	b.Run("serial-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				cfg := DefaultConfig()
+				cfg.Seed = req.Seed
+				dep, err := NewDeployment(cfg, req.Auth, req.Vouch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dep.Authenticate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(reqs)), "sessions/op")
+	})
+
+	b.Run("concurrent-8", func(b *testing.B) {
+		svcCfg := DefaultServiceConfig()
+		svcCfg.MaxSessions = len(reqs)
+		svc, err := NewService(svcCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for _, req := range reqs {
+				wg.Add(1)
+				go func(req AuthRequest) {
+					defer wg.Done()
+					if _, err := svc.Authenticate(req); err != nil {
+						b.Error(err)
+					}
+				}(req)
+			}
+			wg.Wait()
+		}
+		b.ReportMetric(float64(len(reqs)), "sessions/op")
+	})
+}

@@ -1,0 +1,138 @@
+package piano
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// serviceRequests builds a mixed workload: distances across the decision
+// boundary, distinct seeds and skews, one session with an interferer and
+// one with a per-session threshold override.
+func serviceRequests() []AuthRequest {
+	reqs := make([]AuthRequest, 6)
+	for i := range reqs {
+		reqs[i] = AuthRequest{
+			Auth:  DeviceSpec{Name: "hub", X: 0, Y: 0, ClockSkewPPM: 15},
+			Vouch: DeviceSpec{Name: "watch", X: 0.3 + 0.4*float64(i), Y: 0, ClockSkewPPM: -20},
+			Seed:  int64(70 + i),
+		}
+	}
+	reqs[2].Interferers = []DeviceSpec{{Name: "colleague", X: 2.0, Y: 1.5}}
+	reqs[4].ThresholdM = 0.5
+	return reqs
+}
+
+// deploymentRun reproduces one AuthRequest through the serial Deployment
+// path — the reference the Service promises to match bit for bit.
+func deploymentRun(t testing.TB, req AuthRequest) *Decision {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = req.Seed
+	if req.ThresholdM > 0 {
+		cfg.ThresholdM = req.ThresholdM
+	}
+	if req.Environment != 0 {
+		cfg.Environment = req.Environment
+	}
+	dep, err := NewDeployment(cfg, req.Auth, req.Vouch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range req.Interferers {
+		if err := dep.AddInterferer(in.Name, in.X, in.Y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := dep.Authenticate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
+// TestServiceMatchesDeploymentSerially: session-by-session, the batched
+// service reproduces the public serial path bit for bit.
+func TestServiceMatchesDeploymentSerially(t *testing.T) {
+	svc, err := NewService(DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for i, req := range serviceRequests() {
+		want := deploymentRun(t, req)
+		got, err := svc.Authenticate(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Granted != want.Granted || got.Reason != want.Reason ||
+			math.Float64bits(got.DistanceM) != math.Float64bits(want.DistanceM) ||
+			math.Float64bits(got.AuthTimeSec) != math.Float64bits(want.AuthTimeSec) {
+			t.Fatalf("request %d: service %+v != deployment %+v", i, got, want)
+		}
+	}
+}
+
+// TestServiceConcurrentSessionsBitIdentical is the concurrency gate (run
+// with -race in CI): ≥4 sessions in flight at once, every result
+// bit-identical to its serial-run counterpart.
+func TestServiceConcurrentSessionsBitIdentical(t *testing.T) {
+	reqs := serviceRequests()
+	want := make([]*Decision, len(reqs))
+	for i, req := range reqs {
+		want[i] = deploymentRun(t, req)
+	}
+
+	svc, err := NewService(ServiceConfig{Workers: 2, MaxSessions: len(reqs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	got := make([]*Decision, len(reqs))
+	errs := make([]error, len(reqs))
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = svc.Authenticate(reqs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if got[i].Granted != want[i].Granted || got[i].Reason != want[i].Reason ||
+			math.Float64bits(got[i].DistanceM) != math.Float64bits(want[i].DistanceM) ||
+			math.Float64bits(got[i].AuthTimeSec) != math.Float64bits(want[i].AuthTimeSec) {
+			t.Fatalf("request %d: concurrent service %+v != serial deployment %+v", i, got[i], want[i])
+		}
+	}
+	if n := svc.Sessions(); n != uint64(len(reqs)) {
+		t.Fatalf("sessions = %d, want %d", n, len(reqs))
+	}
+}
+
+// TestDeploymentConcurrentCallsSerialize: a Deployment shared between
+// goroutines (the weblogin pattern) must be race-free — sessions serialize
+// internally.
+func TestDeploymentConcurrentCallsSerialize(t *testing.T) {
+	dep := newDeploymentT(t, DefaultConfig(), 0.8)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := dep.Authenticate(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if dep.Energy().Authentications != 4 {
+		t.Fatalf("authCount = %d", dep.Energy().Authentications)
+	}
+}
