@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-auth bench-service cover clean
+.PHONY: all build vet test test-race bench bench-smoke bench-auth bench-detect bench-service cover clean
 
 all: vet build test
 
@@ -36,6 +36,14 @@ bench-auth:
 # (BENCH_service.json / PERFORMANCE.md).
 bench-service:
 	$(GO) test -run '^$$' -bench 'BenchmarkService' -benchmem -benchtime 5x .
+
+# The band-limited streaming scan engine: detection end-to-end (default
+# config + sliding-vs-exact at a sub-break-even coarse step) and the dsp
+# micro-benches behind the break-even constants (BENCH_stream.json /
+# PERFORMANCE.md).
+bench-detect:
+	$(GO) test -run '^$$' -bench 'BenchmarkDetectAll' -benchmem -benchtime 5x ./internal/detect/
+	$(GO) test -run '^$$' -bench 'PowerSpectrumInto|PowerSpectrumBandInto|SlidingBandDFT|BandScorer' -benchmem ./internal/dsp/
 
 cover:
 	$(GO) test -cover ./...

@@ -49,6 +49,18 @@ type Config struct {
 	CoarseStep int
 	FineStep   int
 
+	// CandidateBandLo and CandidateBandHi optionally pin the canonical
+	// half-spectrum bin range [lo, hi) the band-limited scan engine
+	// computes per window. Both zero (the default) derives the band from
+	// the signals being detected — every bin Algorithm 2 reads, i.e. the
+	// candidate frequencies' (possibly aliased) bins ± Theta. When set
+	// explicitly the band must lie inside the canonical half-spectrum
+	// [0, winLen/2] (hi is half-open, so hi ≤ winLen/2+1) and cover the
+	// signals' spectral footprint; DetectAll rejects it otherwise rather
+	// than silently scoring bins the engine never computed.
+	CandidateBandLo int
+	CandidateBandHi int
+
 	// DisableBetaCheck turns off the foreign-frequency sanity check.
 	// ABLATION ONLY: the paper's §V argues this check is what defeats
 	// all-frequency spoofing; the ablation bench demonstrates that
@@ -84,7 +96,86 @@ func (c Config) Validate() error {
 	case c.FineStep > c.CoarseStep:
 		return fmt.Errorf("detect: fine step %d exceeds coarse step %d", c.FineStep, c.CoarseStep)
 	}
+	if c.CandidateBandLo != 0 || c.CandidateBandHi != 0 {
+		switch {
+		case c.CandidateBandLo < 0:
+			return fmt.Errorf("detect: candidate band [%d, %d) has negative low bin", c.CandidateBandLo, c.CandidateBandHi)
+		case c.CandidateBandLo >= c.CandidateBandHi:
+			return fmt.Errorf("detect: candidate band [%d, %d) is inverted (lo ≥ hi)", c.CandidateBandLo, c.CandidateBandHi)
+		}
+		// The upper bound depends on the window length, which is a signal
+		// property; DetectAll enforces CandidateBandHi ≤ winLen/2+1.
+	}
 	return nil
+}
+
+// bandRange is a canonical half-spectrum bin range [lo, hi).
+type bandRange struct{ lo, hi int }
+
+// CandidateBand returns the canonical half-spectrum bin range [lo, hi)
+// covering every power-spectrum bin Algorithm 2 can read for signals drawn
+// from p with smoothing half-width theta: each candidate frequency's bin
+// ⌊f/fs·N⌋ (which lands above Nyquist for the paper's 25–35 kHz band, on
+// the conjugate mirror), widened by ±theta and clamped exactly the way
+// BandPower clamps, then folded to canonical bins k ≤ N/2. The band-limited
+// scan engine computes only this range (~45% of the bins at the paper's
+// parameters).
+func CandidateBand(p sigref.Params, theta int) (lo, hi int) {
+	n := p.Length
+	half := n / 2
+	minB, maxB := n, -1
+	for _, f := range p.Candidates() {
+		b := dsp.BinIndex(f, p.SampleRate, n)
+		rlo, rhi := b-theta, b+theta
+		if rlo < 0 {
+			rlo = 0
+		}
+		if rhi > n-1 {
+			rhi = n - 1
+		}
+		for r := rlo; r <= rhi; r++ {
+			m := r
+			if m > half {
+				m = n - m
+			}
+			if m < minB {
+				minB = m
+			}
+			if m > maxB {
+				maxB = m
+			}
+		}
+	}
+	if maxB < 0 {
+		// No candidate maps into the spectrum at all (degenerate params);
+		// fall back to the full half-spectrum so scoring stays well-defined.
+		return 0, half + 1
+	}
+	return minB, maxB + 1
+}
+
+// scanBand resolves the band the engine computes for signals drawn from p:
+// the derived footprint by default, or the configured override after
+// validating it against the window length and checking it covers the
+// footprint.
+func (c Config) scanBand(p sigref.Params) (bandRange, error) {
+	lo, hi := CandidateBand(p, c.Theta)
+	if c.CandidateBandLo == 0 && c.CandidateBandHi == 0 {
+		return bandRange{lo, hi}, nil
+	}
+	cLo, cHi := c.CandidateBandLo, c.CandidateBandHi
+	switch {
+	// hi is half-open, so hi = winLen/2+1 (including the Nyquist bin) is
+	// the largest expressible band — matching the engines' convention, and
+	// necessary when a candidate's footprint folds onto bin winLen/2.
+	case cLo < 0 || cHi > p.Length/2+1:
+		return bandRange{}, fmt.Errorf("detect: candidate band [%d, %d) outside the canonical spectrum [0, %d] for window length %d", cLo, cHi, p.Length/2, p.Length)
+	case cLo >= cHi:
+		return bandRange{}, fmt.Errorf("detect: candidate band [%d, %d) is inverted (lo ≥ hi)", cLo, cHi)
+	case cLo > lo || cHi < hi:
+		return bandRange{}, fmt.Errorf("detect: candidate band [%d, %d) does not cover the signals' spectral footprint [%d, %d)", cLo, cHi, lo, hi)
+	}
+	return bandRange{cLo, cHi}, nil
 }
 
 // Result is the outcome of locating one reference signal.
@@ -128,6 +219,12 @@ type Detector struct {
 	// (UsePlans).
 	plans *dsp.PlanSet
 
+	// disableStream forces exact per-window FFTs even when the streaming
+	// break-even would choose the sliding engine. Used by benchmarks and
+	// A/B tests to measure the engine choice itself; production code
+	// leaves it false and lets dsp.StreamingWins decide.
+	disableStream bool
+
 	// wsPool holds *scanWorkspace values; one is checked out per scan
 	// worker and returned when the scan finishes.
 	wsPool sync.Pool
@@ -137,12 +234,35 @@ type Detector struct {
 }
 
 // scanWorkspace is the per-worker scratch for window scoring: a shared
-// immutable FFT plan plus this worker's private spectrum and FFT buffers.
+// immutable FFT plan plus this worker's private spectrum and FFT buffers,
+// and — once a streaming scan has run — the worker-local sliding-DFT state
+// the range-claiming coarse scan advances incrementally.
 type scanWorkspace struct {
 	n       int
 	plan    *dsp.FFTPlan
 	scratch []complex128
 	spec    []float64
+	// slide is the lazily built streaming engine, reused as long as the
+	// scan's band and hop stay the same (they do, across every session of a
+	// service: the band is a function of the signal design and Theta).
+	slide *dsp.SlidingBandDFT
+}
+
+// sliding returns the workspace's streaming engine for (band, step),
+// (re)building it only when the requested geometry changes — steady-state
+// service traffic reuses the pinned state allocation-free.
+func (ws *scanWorkspace) sliding(band bandRange, step int) (*dsp.SlidingBandDFT, error) {
+	if s := ws.slide; s != nil {
+		if lo, hi := s.Band(); lo == band.lo && hi == band.hi && s.Step() == step {
+			return s, nil
+		}
+	}
+	s, err := dsp.NewSlidingBandDFT(ws.plan, band.lo, band.hi, step)
+	if err != nil {
+		return nil, err
+	}
+	ws.slide = s
+	return s, nil
 }
 
 // scoreBuf wraps a growable score slice so it can round-trip through a
@@ -297,9 +417,14 @@ func (d *Detector) Detect(recording []float64, sig *sigref.Signal) (Result, erro
 // reference signals simultaneously in one scan" optimization. All signals
 // must share Params (length and grid).
 //
-// Window spectra run through the pooled zero-alloc FFT engine
-// (dsp.FFTPlan.PowerSpectrumInto) and are scored across a bounded worker
-// pool; the reduction is performed in window order, so results are
+// Window spectra run through the pooled zero-alloc band-limited engine —
+// exact band-restricted FFTs (dsp.FFTPlan.PowerSpectrumBandInto) or, when
+// the coarse step sits below the dsp.StreamingWins break-even, incremental
+// sliding-DFT updates (dsp.SlidingBandDFT) — computed only over the band
+// Algorithm 2 reads (see Config.CandidateBandLo/Hi; an explicit band that
+// is invalid or fails to cover the signals' footprint is rejected here).
+// Windows are scored across a bounded worker pool claiming fixed hop
+// blocks, and the reduction is performed in window order, so results are
 // deterministic for a given recording regardless of GOMAXPROCS.
 func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Result, error) {
 	if len(sigs) == 0 {
@@ -316,6 +441,10 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 	winLen := sigs[0].Params().Length
 	if len(recording) < winLen {
 		return nil, fmt.Errorf("detect: recording %d shorter than window %d", len(recording), winLen)
+	}
+	band, err := d.cfg.scanBand(sigs[0].Params())
+	if err != nil {
+		return nil, err
 	}
 
 	specs := make([]*sigSpec, len(sigs))
@@ -343,8 +472,14 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 	sb := d.getScores(coarseCount * len(specs))
 	defer d.scorePool.Put(sb)
 
+	// The coarse scan streams (sliding-DFT hops between periodic full-FFT
+	// resyncs) when the measured break-even says the incremental update is
+	// cheaper than an independent band-restricted FFT per window; at the
+	// paper's default coarse step of 1000 it is not, and the scan runs
+	// exact per-window FFTs — bit-identical to the pre-streaming engine.
+	stream := !d.disableStream && dsp.StreamingWins(winLen, band.hi-band.lo, d.cfg.CoarseStep)
 	scores := sb.buf[:coarseCount*len(specs)]
-	if err := d.scanWindows(recording, winLen, 0, d.cfg.CoarseStep, coarseCount, specs, scores); err != nil {
+	if err := d.scanWindows(recording, winLen, 0, d.cfg.CoarseStep, coarseCount, band, stream, specs, scores); err != nil {
 		return nil, err
 	}
 	for w := 0; w < coarseCount; w++ {
@@ -384,7 +519,10 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 			fineScores = sb.buf
 		}
 		fineScores = fineScores[:fineCount]
-		if err := d.scanWindows(recording, winLen, lo, d.cfg.FineStep, fineCount, one, fineScores); err != nil {
+		// The fine scan localizes the argmax: it keeps exact per-window
+		// FFTs (band-restricted unpack only) so fine scores never carry
+		// sliding-DFT drift into the reported location and power.
+		if err := d.scanWindows(recording, winLen, lo, d.cfg.FineStep, fineCount, band, false, one, fineScores); err != nil {
 			return nil, err
 		}
 		results[s].WindowsScanned += fineCount
@@ -407,15 +545,87 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 	return results, nil
 }
 
+// fftScanBlock is the contiguous hop-range size workers claim in the exact
+// per-window-FFT mode. Range claiming exists for the streaming mode (the
+// incremental state must stay worker-local); in FFT mode every window is
+// independent, so the block size only tunes claim overhead and cache
+// locality and never changes a score.
+const fftScanBlock = 4
+
+// scanJob bundles one window-scan's parameters so block processing is
+// shared verbatim between the sequential fast path and pool workers — the
+// block grid, not the worker schedule, determines every score.
+type scanJob struct {
+	rec    []float64
+	winLen int
+	lo     int
+	step   int
+	count  int
+	band   bandRange
+	stream bool
+	specs  []*sigSpec
+	scores []float64
+	theta  int
+	block  int
+}
+
+// runBlock scores the contiguous hop range of block b with ws (and its
+// sliding engine sd in streaming mode: one exact Reset at the block start,
+// incremental advances within).
+func (j *scanJob) runBlock(ws *scanWorkspace, sd *dsp.SlidingBandDFT, b int) error {
+	w0 := b * j.block
+	wEnd := w0 + j.block
+	if wEnd > j.count {
+		wEnd = j.count
+	}
+	if j.stream {
+		if err := sd.Reset(j.rec, j.lo+w0*j.step); err != nil {
+			return err
+		}
+		for w := w0; w < wEnd; w++ {
+			if w > w0 {
+				if err := sd.Advance(); err != nil {
+					return err
+				}
+			}
+			if err := sd.PowersInto(ws.spec); err != nil {
+				return err
+			}
+			j.score(w, ws.spec)
+		}
+		return nil
+	}
+	for w := w0; w < wEnd; w++ {
+		i := j.lo + w*j.step
+		if err := ws.plan.PowerSpectrumBandInto(ws.spec, j.rec[i:i+j.winLen], ws.scratch, j.band.lo, j.band.hi); err != nil {
+			return err
+		}
+		j.score(w, ws.spec)
+	}
+	return nil
+}
+
+func (j *scanJob) score(w int, spec []float64) {
+	for s, ss := range j.specs {
+		j.scores[w*len(j.specs)+s] = ss.normPower(spec, j.theta)
+	}
+}
+
 // scanWindows scores the arithmetic window sequence lo, lo+step, … (count
-// windows) against every spec, writing scores[w*len(specs)+s]. Windows are
-// claimed off a shared atomic counter by a bounded set of workers — idle
-// goroutines borrowed from the attached Pool when one is set, transient
-// goroutines (≤ GOMAXPROCS) otherwise — each with one pooled FFT
-// workspace. Every score depends only on its window, so the output is
-// independent of scheduling and the caller's in-order reduction stays
-// bit-identical to a sequential scan.
-func (d *Detector) scanWindows(recording []float64, winLen, lo, step, count int, specs []*sigSpec, scores []float64) error {
+// windows) against every spec, writing scores[w*len(specs)+s]. Workers —
+// idle goroutines borrowed from the attached Pool when one is set,
+// transient goroutines (≤ GOMAXPROCS) otherwise — claim contiguous blocks
+// of hops off a shared atomic counter, each with one pooled workspace.
+//
+// In FFT mode each window gets an exact band-restricted power spectrum
+// (dsp.FFTPlan.PowerSpectrumBandInto), so scores are independent of
+// scheduling and blocking. In streaming mode (coarse scans below the
+// sliding-DFT break-even) each block starts with a full-FFT Reset and
+// advances incrementally within the block; the block grid is fixed
+// (dsp.StreamResyncHops), so which worker computes a block never changes
+// its scores and results stay bit-deterministic at any GOMAXPROCS. The
+// caller's in-order reduction therefore always matches a sequential scan.
+func (d *Detector) scanWindows(recording []float64, winLen, lo, step, count int, band bandRange, stream bool, specs []*sigSpec, scores []float64) error {
 	// Bounds guard: the last window is recording[lo+(count-1)*step :
 	// lo+(count-1)*step+winLen]. A recording too short for the requested
 	// sequence used to slice out of range and panic; refuse it instead.
@@ -427,16 +637,36 @@ func (d *Detector) scanWindows(recording []float64, winLen, lo, step, count int,
 			len(recording), last, last+winLen, lo, step, count, winLen)
 	}
 
-	theta := d.cfg.Theta
+	job := scanJob{
+		rec:    recording,
+		winLen: winLen,
+		lo:     lo,
+		step:   step,
+		count:  count,
+		band:   band,
+		stream: stream,
+		specs:  specs,
+		scores: scores,
+		theta:  d.cfg.Theta,
+		block:  fftScanBlock,
+	}
+	if stream {
+		// One resync (full-FFT Reset) per block bounds sliding-DFT drift;
+		// see dsp.StreamResyncHops for the drift budget.
+		job.block = dsp.StreamResyncHops
+	}
+	blocks := (count + job.block - 1) / job.block
 
-	// Sequential fast path (single-core machines, tiny scans): no helper
-	// goroutines means no closure or synchronization overhead at all.
+	// Sequential fast path (single-core machines, tiny scans): the
+	// submitting goroutine walks the same fixed block grid alone — no
+	// closures, no synchronization — so scores are identical to a parallel
+	// run by construction and steady-state allocations stay at zero.
 	helpers := runtime.GOMAXPROCS(0) - 1
 	if d.pool != nil {
 		helpers = d.pool.Workers()
 	}
-	if helpers > count-1 {
-		helpers = count - 1
+	if helpers > blocks-1 {
+		helpers = blocks - 1
 	}
 	if helpers <= 0 {
 		ws, err := d.getWorkspace(winLen)
@@ -444,17 +674,27 @@ func (d *Detector) scanWindows(recording []float64, winLen, lo, step, count int,
 			return err
 		}
 		defer d.wsPool.Put(ws)
-		for w := 0; w < count; w++ {
-			i := lo + w*step
-			if err := ws.plan.PowerSpectrumInto(ws.spec, recording[i:i+winLen], ws.scratch); err != nil {
+		var sd *dsp.SlidingBandDFT
+		if stream {
+			if sd, err = ws.sliding(band, step); err != nil {
 				return err
 			}
-			for s, ss := range specs {
-				scores[w*len(specs)+s] = ss.normPower(ws.spec, theta)
+			// Don't let the pooled workspace pin this scan's recording
+			// after the scan ends (runs before the deferred wsPool.Put).
+			defer sd.Release()
+		}
+		for b := 0; b < blocks; b++ {
+			if err := job.runBlock(ws, sd, b); err != nil {
+				return err
 			}
 		}
 		return nil
 	}
+	// The parallel path's closures share one heap copy of the job; job
+	// itself stays on the stack so the sequential path above is
+	// allocation-free.
+	jobp := new(scanJob)
+	*jobp = job
 
 	var next atomic.Int64
 	var errMu sync.Mutex
@@ -465,7 +705,7 @@ func (d *Detector) scanWindows(recording []float64, winLen, lo, step, count int,
 			scanErr = err
 		}
 		errMu.Unlock()
-		next.Store(int64(count)) // stop remaining claims
+		next.Store(int64(blocks)) // stop remaining claims
 	}
 	work := func() {
 		ws, err := d.getWorkspace(winLen)
@@ -474,18 +714,24 @@ func (d *Detector) scanWindows(recording []float64, winLen, lo, step, count int,
 			return
 		}
 		defer d.wsPool.Put(ws)
-		for {
-			w := int(next.Add(1)) - 1
-			if w >= count {
-				return
-			}
-			i := lo + w*step
-			if err := ws.plan.PowerSpectrumInto(ws.spec, recording[i:i+winLen], ws.scratch); err != nil {
+		var sd *dsp.SlidingBandDFT
+		if stream {
+			if sd, err = ws.sliding(band, step); err != nil {
 				fail(err)
 				return
 			}
-			for s, ss := range specs {
-				scores[w*len(specs)+s] = ss.normPower(ws.spec, theta)
+			// Don't let the pooled workspace pin this scan's recording
+			// after the scan ends (runs before the deferred wsPool.Put).
+			defer sd.Release()
+		}
+		for {
+			b := int(next.Add(1)) - 1
+			if b >= blocks {
+				return
+			}
+			if err := jobp.runBlock(ws, sd, b); err != nil {
+				fail(err)
+				return
 			}
 		}
 	}
@@ -510,6 +756,44 @@ func (d *Detector) scanWindows(recording []float64, winLen, lo, step, count int,
 	work()
 	wg.Wait()
 	return scanErr
+}
+
+// Prewarm builds and pools workers scan workspaces sized for signals drawn
+// from p: the pinned FFT plan, the full-length spectrum buffer, the packed
+// FFT scratch, and — when the configured coarse step streams — the
+// sliding-DFT state and its shared rotation table. A long-lived service
+// calls this at construction so steady-state traffic never pays cold-start
+// allocations (and the first sessions don't race to build the same
+// tables).
+func (d *Detector) Prewarm(p sigref.Params, workers int) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("detect: prewarm: %w", err)
+	}
+	band, err := d.cfg.scanBand(p)
+	if err != nil {
+		return err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stream := dsp.StreamingWins(p.Length, band.hi-band.lo, d.cfg.CoarseStep)
+	wss := make([]*scanWorkspace, 0, workers)
+	for i := 0; i < workers; i++ {
+		ws, err := d.getWorkspace(p.Length)
+		if err != nil {
+			return err
+		}
+		if stream {
+			if _, err := ws.sliding(band, d.cfg.CoarseStep); err != nil {
+				return err
+			}
+		}
+		wss = append(wss, ws)
+	}
+	for _, ws := range wss {
+		d.wsPool.Put(ws)
+	}
+	return nil
 }
 
 // DetectCrossCorrelation locates a reference signal using plain normalized

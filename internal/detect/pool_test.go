@@ -11,6 +11,12 @@ import (
 	"github.com/acoustic-auth/piano/internal/sigref"
 )
 
+// testBand is the derived candidate band tests hand to scanWindows directly.
+func testBand(p sigref.Params) bandRange {
+	lo, hi := CandidateBand(p, DefaultConfig().Theta)
+	return bandRange{lo, hi}
+}
+
 // TestScanWindowsBoundsGuard is the truncated-recording regression test:
 // scanWindows used to trust its caller and slice recording[i:i+winLen]
 // unchecked, so a window sequence extending past the recording end
@@ -32,7 +38,7 @@ func TestScanWindowsBoundsGuard(t *testing.T) {
 	// truncated one: lo + (count-1)*step + winLen = 24096 > 20000.
 	truncated := make([]float64, 20000)
 	scores := make([]float64, 21)
-	err = det.scanWindows(truncated, p.Length, 0, 1000, 21, []*sigSpec{spec}, scores)
+	err = det.scanWindows(truncated, p.Length, 0, 1000, 21, testBand(p), false, []*sigSpec{spec}, scores)
 	if err == nil {
 		t.Fatal("scanWindows accepted a window sequence past the recording end")
 	}
@@ -41,13 +47,13 @@ func TestScanWindowsBoundsGuard(t *testing.T) {
 	}
 
 	// Degenerate sequences are refused too.
-	if err := det.scanWindows(truncated, p.Length, -1, 1000, 1, []*sigSpec{spec}, scores); err == nil {
+	if err := det.scanWindows(truncated, p.Length, -1, 1000, 1, testBand(p), false, []*sigSpec{spec}, scores); err == nil {
 		t.Fatal("negative lo accepted")
 	}
-	if err := det.scanWindows(truncated, p.Length, 0, 0, 1, []*sigSpec{spec}, scores); err == nil {
+	if err := det.scanWindows(truncated, p.Length, 0, 0, 1, testBand(p), false, []*sigSpec{spec}, scores); err == nil {
 		t.Fatal("zero step accepted")
 	}
-	if err := det.scanWindows(truncated, p.Length, 0, 1000, 0, []*sigSpec{spec}, scores); err == nil {
+	if err := det.scanWindows(truncated, p.Length, 0, 1000, 0, testBand(p), false, []*sigSpec{spec}, scores); err == nil {
 		t.Fatal("zero count accepted")
 	}
 

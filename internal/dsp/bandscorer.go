@@ -44,18 +44,24 @@ type BandScorer struct {
 	plan    *FFTPlan
 	spec    []float64
 	scratch []complex128
+	// fftLo/fftHi is the canonical bin range covering every bin any band
+	// reads, so the FFT path unpacks only that range
+	// (PowerSpectrumBandInto) instead of the full spectrum.
+	fftLo, fftHi int
 }
 
 // goertzelBreakEvenBins returns the crossover point between the pruned-DFT
-// and FFT strategies. Goertzel costs ~N multiply-adds per bin but its
-// recurrence is a serial dependency chain (latency-bound, ~3.5 ns/sample
-// measured), while the packed real FFT computes every bin at once in
-// ~N·log₂N work with good ILP (~8 ns/sample total at N=4096). Measured on
-// the reference machine the FFT path costs about what 2–3 Goertzel bins do,
-// i.e. the break-even is ~log₂N/4 bins, not the naive work-count estimate
-// of log₂N (see BenchmarkBandScorerGrid/SingleTone).
+// and FFT strategies. Goertzel costs ~N multiply-adds per bin and its
+// recurrence is a serial dependency chain (latency-bound, ~2.5 ns/sample
+// measured), while the FFT path computes every bin at once. Re-measured
+// after the FFT side switched to the fused packed transform + band-
+// restricted unpack (PowerSpectrumBandInto): the FFT path now costs
+// ~0.32 ns·N·log₂N (≈15.7 µs at N=4096, barely above a single 10.3 µs
+// Goertzel bin), so the break-even fell from ~log₂N/4 to ~log₂N/8 — at the
+// paper's N=4096 only single-bin probes (wake tones) still favor Goertzel
+// (see BenchmarkBandScorerGrid/SingleTone and PERFORMANCE.md).
 func goertzelBreakEvenBins(log2n int) int {
-	be := log2n / 4
+	be := log2n / 8
 	if be < 1 {
 		be = 1
 	}
@@ -132,6 +138,24 @@ func newBandScorer(n int, centers []int, theta int, plan *FFTPlan) (*BandScorer,
 		s.plan = plan
 		s.spec = make([]float64, n)
 		s.scratch = plan.NewScratch()
+		// Fold every read bin to its canonical image (spectrum[b] ==
+		// spectrum[n−b] for b > n/2) so the unpack runs only over the
+		// range the bands actually touch.
+		half := n / 2
+		minB, maxB := n, -1
+		for _, b := range s.bins {
+			m := b
+			if m > half {
+				m = n - m
+			}
+			if m < minB {
+				minB = m
+			}
+			if m > maxB {
+				maxB = m
+			}
+		}
+		s.fftLo, s.fftHi = minB, maxB+1
 	}
 	return s, nil
 }
@@ -181,7 +205,7 @@ func (s *BandScorer) ScoreInto(dst, window []float64) error {
 		}
 		return nil
 	}
-	if err := s.plan.PowerSpectrumInto(s.spec, window, s.scratch); err != nil {
+	if err := s.plan.PowerSpectrumBandInto(s.spec, window, s.scratch, s.fftLo, s.fftHi); err != nil {
 		return err
 	}
 	for bi, band := range s.bands {

@@ -51,12 +51,21 @@ func TestBandScorerValidation(t *testing.T) {
 // TestBandScorerStrategySelection pins the construction-time crossover: few
 // bins → pruned DFT, PIANO's full grid → FFT.
 func TestBandScorerStrategySelection(t *testing.T) {
-	few, err := NewBandScorer(4096, []int{500}, 1) // 3 bins ≤ break-even of 3
+	few, err := NewBandScorer(4096, []int{500}, 0) // 1 bin ≤ break-even of 1
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !few.UsesGoertzel() {
-		t.Error("3-bin workload should use the pruned DFT")
+		t.Error("1-bin workload should use the pruned DFT")
+	}
+	// Since the FFT side only pays a band-restricted unpack, even a 3-bin
+	// workload lands on the FFT path (re-measured break-even: ~log₂N/8).
+	three, err := NewBandScorer(4096, []int{500}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.UsesGoertzel() {
+		t.Error("3-bin workload should use the FFT after the band-restricted unpack")
 	}
 	centers := make([]int, 30)
 	for i := range centers {
@@ -83,7 +92,12 @@ func TestBandScorerParityBothPaths(t *testing.T) {
 		theta   int
 	}{
 		{"goertzel-path", []int{700}, 0},
-		{"goertzel-edge-clamp", []int{0}, 1},
+		// 2 bins sat on the Goertzel side of the old ~log₂N/4 break-even;
+		// with the FFT path down to a band-restricted unpack the measured
+		// crossover is ~log₂N/8 and this workload now picks the FFT. The
+		// case still pins the θ-clamp at the spectrum edge (shared by both
+		// strategies).
+		{"fft-edge-clamp", []int{0}, 1},
 		{"fft-path", []int{100, 200, 300, 400, 500, 600, 700, 800}, 4},
 		{"fft-overlapping-bands", []int{100, 103, 106, 109, 112, 115, 118, 121, 124}, 5},
 	}

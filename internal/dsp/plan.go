@@ -29,6 +29,12 @@ type FFTPlan struct {
 	// recombine the packed half-length spectrum into the real-input
 	// spectrum.
 	unpack []complex128
+
+	// rots caches immutable per-band rotation tables (bandRot) for the
+	// sliding-DFT engine, keyed by lo<<32|hi. The cache is append-only and
+	// lock-free on the read path; it does not affect the plan's logical
+	// immutability (every table for a given band is identical).
+	rots sync.Map
 }
 
 // fftTables is the immutable butterfly schedule for one transform length.
@@ -92,12 +98,8 @@ func (t *fftTables) transform(x []complex128, inverse bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	stages := 0
-	for v := n; v > 1; v >>= 1 {
-		stages++
-	}
 	h0 := 1
-	if stages%2 == 1 {
+	if t.stages()%2 == 1 {
 		// Odd stage count: one plain radix-2 stage (twiddle 1), then pairs.
 		for s := 0; s+1 < n; s += 2 {
 			a, b := x[s], x[s+1]
@@ -105,15 +107,33 @@ func (t *fftTables) transform(x []complex128, inverse bool) {
 		}
 		h0 = 2
 	}
+	t.pairStages(x, h0, inverse)
+}
+
+func (t *fftTables) stages() int {
+	stages := 0
+	for v := t.n; v > 1; v >>= 1 {
+		stages++
+	}
+	return stages
+}
+
+// pairStages runs the fused radix-2² stage pairs from half-size h0 upward,
+// assuming x is already bit-reverse permuted and (when the stage count is
+// odd) the first plain radix-2 stage has been applied.
+func (t *fftTables) pairStages(x []complex128, h0 int, inverse bool) {
+	n := t.n
 	for h := h0; 4*h <= n; h *= 4 {
 		quad := 4 * h
-		twA := t.twiddle[h-1 : 2*h-1]       // first stage of the pair (size 2h)
-		twB := t.twiddle[2*h-1 : 2*h-1+2*h] // second stage (size 4h); only the first h entries are needed
+		// Slice every operand to exactly h so the loop condition j < h
+		// proves all six indexings in range (bounds-check-free inner loop).
+		twA := t.twiddle[h-1 : 2*h-1][:h]     // first stage of the pair (size 2h)
+		twB := t.twiddle[2*h-1 : 2*h-1+h][:h] // second stage (size 4h); only the first h entries are needed
 		for start := 0; start < n; start += quad {
-			q0 := x[start : start+h : start+h]
-			q1 := x[start+h : start+2*h : start+2*h]
-			q2 := x[start+2*h : start+3*h : start+3*h]
-			q3 := x[start+3*h : start+quad : start+quad]
+			q0 := x[start : start+h : start+h][:h]
+			q1 := x[start+h : start+2*h : start+2*h][:h]
+			q2 := x[start+2*h : start+3*h : start+3*h][:h]
+			q3 := x[start+3*h : start+quad : start+quad][:h]
 			if inverse {
 				for j := 0; j < h; j++ {
 					wa := twA[j]
@@ -252,12 +272,82 @@ func (p *FFTPlan) PowerSpectrumInto(dst, window []float64, scratch []complex128)
 	if len(scratch) < p.half {
 		return fmt.Errorf("dsp: power spectrum scratch length %d, want %d", len(scratch), p.half)
 	}
+	p.packedHalfTransform(window, scratch)
+	p.unpackPowerBand(dst, scratch, 0, p.half+1)
+	return nil
+}
+
+// PowerSpectrumBandInto is PowerSpectrumInto restricted to the canonical
+// half-spectrum bin range [lo, hi): only dst[k] — and its conjugate mirror
+// dst[N−k] for 0 < k < N/2 — is written for k in the band; every other
+// entry of dst is left untouched (stale). Callers that only read a known
+// band (Algorithm 2's candidate band is ~45% of the bins at the paper's
+// parameters) skip the rest of the split-twiddle unpack, which costs about
+// as much per bin as the FFT butterflies it follows.
+//
+// Bounds: 0 ≤ lo < hi ≤ N/2+1 (hi = N/2+1 includes the Nyquist bin). The
+// written bins are bit-identical to a full PowerSpectrumInto call — the
+// band loop runs exactly the same arithmetic on the same packed transform.
+func (p *FFTPlan) PowerSpectrumBandInto(dst, window []float64, scratch []complex128, lo, hi int) error {
+	if len(window) != p.n {
+		return fmt.Errorf("dsp: power spectrum plan length %d, window %d", p.n, len(window))
+	}
+	if len(dst) != p.n {
+		return fmt.Errorf("dsp: power spectrum dst length %d, want %d", len(dst), p.n)
+	}
+	if len(scratch) < p.half {
+		return fmt.Errorf("dsp: power spectrum scratch length %d, want %d", len(scratch), p.half)
+	}
+	if lo < 0 || hi <= lo || hi > p.half+1 {
+		return fmt.Errorf("dsp: power spectrum band [%d, %d) outside [0, %d]", lo, hi, p.half+1)
+	}
+	p.packedHalfTransform(window, scratch)
+	p.unpackPowerBand(dst, scratch, lo, hi)
+	return nil
+}
+
+// packedHalfTransform packs the real window into scratch (evens in the real
+// lane, odds in the imaginary lane) and runs the half-length transform in
+// place, leaving scratch[:N/2] holding Z[k].
+//
+// The pack is fused with the transform's bit-reversal permutation (gather:
+// output slot k reads input index bitrev[k], since the permutation is an
+// involution) and, when the stage count is odd, with the first plain
+// radix-2 stage — one pass over the data instead of three. The arithmetic
+// per output is unchanged, so results are bit-identical to pack + the
+// generic transform.
+func (p *FFTPlan) packedHalfTransform(window []float64, scratch []complex128) {
 	h := p.half
 	z := scratch[:h]
-	for k := 0; k < h; k++ {
-		z[k] = complex(window[2*k], window[2*k+1])
+	t := &p.halfT
+	if h == 1 {
+		z[0] = complex(window[0], window[1])
+		return
 	}
-	p.halfT.transform(z, false)
+	if t.stages()%2 == 1 {
+		for s := 0; s+1 < h; s += 2 {
+			ia := 2 * int(t.bitrev[s])
+			ib := 2 * int(t.bitrev[s+1])
+			a := complex(window[ia], window[ia+1])
+			b := complex(window[ib], window[ib+1])
+			z[s], z[s+1] = a+b, a-b
+		}
+		t.pairStages(z, 2, false)
+		return
+	}
+	for k := 0; k < h; k++ {
+		i := 2 * int(t.bitrev[k])
+		z[k] = complex(window[i], window[i+1])
+	}
+	t.pairStages(z, 1, false)
+}
+
+// unpackPowerBand recombines the packed half-length spectrum in scratch into
+// normalized power for canonical bins [lo, hi), mirroring interior bins to
+// their conjugates as PowerSpectrum's full-length output does.
+func (p *FFTPlan) unpackPowerBand(dst []float64, scratch []complex128, lo, hi int) {
+	h := p.half
+	z := scratch[:h]
 
 	// norm = (2/N)² applied to |X[k]|².
 	invN := 2 / float64(p.n)
@@ -265,26 +355,111 @@ func (p *FFTPlan) PowerSpectrumInto(dst, window []float64, scratch []complex128)
 
 	// DC and Nyquist bins are real: X[0] = Re+Im, X[N/2] = Re−Im of Z[0].
 	re0, im0 := real(z[0]), imag(z[0])
-	dc := re0 + im0
-	ny := re0 - im0
-	dst[0] = dc * dc * norm
-	dst[h] = ny * ny * norm
+	if lo == 0 {
+		dc := re0 + im0
+		dst[0] = dc * dc * norm
+		lo = 1
+	}
+	if hi == h+1 {
+		ny := re0 - im0
+		dst[h] = ny * ny * norm
+		hi = h
+	}
 
-	for k := 1; k < h; k++ {
-		zk := z[k]
-		zc := z[h-k]
+	// Reindex the four streams onto [0, hi−lo) so every access is provably
+	// in range (no per-bin bounds checks): zf/df walk forward from lo,
+	// zc/dc walk the conjugate mirrors backward.
+	m := hi - lo
+	zf := z[lo:hi][:m]
+	zc := z[h-hi+1 : h-lo+1][:m] // zc[m-1-j] == z[h-(lo+j)]
+	up := p.unpack[lo:hi][:m]
+	df := dst[lo:hi][:m]
+	dc2 := dst[p.n-hi+1 : p.n-lo+1][:m] // dc2[m-1-j] == dst[n-(lo+j)]
+	for j := 0; j < m; j++ {
+		zk := zf[j]
+		zq := zc[m-1-j]
 		// Even/odd split: Fe = (Z[k]+conj(Z[h−k]))/2, Fo = (Z[k]−conj(Z[h−k]))/(2i).
-		feR := (real(zk) + real(zc)) / 2
-		feI := (imag(zk) - imag(zc)) / 2
-		foR := (imag(zk) + imag(zc)) / 2
-		foI := (real(zc) - real(zk)) / 2
+		feR := (real(zk) + real(zq)) / 2
+		feI := (imag(zk) - imag(zq)) / 2
+		foR := (imag(zk) + imag(zq)) / 2
+		foI := (real(zq) - real(zk)) / 2
 		// X[k] = Fe + unpack[k]·Fo.
-		w := p.unpack[k]
+		w := up[j]
 		xr := feR + real(w)*foR - imag(w)*foI
 		xi := feI + real(w)*foI + imag(w)*foR
 		pw := (xr*xr + xi*xi) * norm
-		dst[k] = pw
-		dst[p.n-k] = pw
+		df[j] = pw
+		dc2[m-1-j] = pw
+	}
+}
+
+// BandSpectrumInto writes the raw (unnormalized) real-input DFT values
+// X[k] = Σ_j window[j]·e^(−2πijk/N) for canonical bins k in [lo, hi) into
+// the split re/im slices (SoA layout, len ≥ hi−lo), via the same packed
+// half-length transform + split-twiddle unpack as PowerSpectrumBandInto.
+// This is the resynchronization primitive of SlidingBandDFT; power follows
+// as (re²+im²)·(2/N)², matching PowerSpectrum's normalization exactly.
+func (p *FFTPlan) BandSpectrumInto(re, im, window []float64, scratch []complex128, lo, hi int) error {
+	if len(window) != p.n {
+		return fmt.Errorf("dsp: band spectrum plan length %d, window %d", p.n, len(window))
+	}
+	if lo < 0 || hi <= lo || hi > p.half+1 {
+		return fmt.Errorf("dsp: band spectrum band [%d, %d) outside [0, %d]", lo, hi, p.half+1)
+	}
+	if len(re) < hi-lo || len(im) < hi-lo {
+		return fmt.Errorf("dsp: band spectrum re/im length %d/%d, want ≥ %d", len(re), len(im), hi-lo)
+	}
+	if len(scratch) < p.half {
+		return fmt.Errorf("dsp: band spectrum scratch length %d, want %d", len(scratch), p.half)
+	}
+	p.packedHalfTransform(window, scratch)
+	h := p.half
+	z := scratch[:h]
+	re0, im0 := real(z[0]), imag(z[0])
+	for k := lo; k < hi; k++ {
+		switch k {
+		case 0:
+			re[k-lo], im[k-lo] = re0+im0, 0
+		case h:
+			re[k-lo], im[k-lo] = re0-im0, 0
+		default:
+			zk := z[k]
+			zc := z[h-k]
+			feR := (real(zk) + real(zc)) / 2
+			feI := (imag(zk) - imag(zc)) / 2
+			foR := (imag(zk) + imag(zc)) / 2
+			foI := (real(zc) - real(zk)) / 2
+			w := p.unpack[k]
+			re[k-lo] = feR + real(w)*foR - imag(w)*foI
+			im[k-lo] = feI + real(w)*foI + imag(w)*foR
+		}
 	}
 	return nil
+}
+
+// bandRot is the immutable single-sample advance rotation table for one
+// canonical bin band: rot[k−lo] = e^(+2πik/N), the factor that re-references
+// a window's DFT value when the window slides forward one sample. Split
+// re/im (SoA) so the sliding-DFT inner loop vectorizes.
+type bandRot struct {
+	lo, hi int
+	re, im []float64
+}
+
+// bandRotTable returns the cached rotation table for [lo, hi), building it
+// on first use. Tables are shared by every SlidingBandDFT on this plan (and
+// hence pinned for the lifetime of a PlanSet that pins the plan).
+func (p *FFTPlan) bandRotTable(lo, hi int) *bandRot {
+	key := uint64(lo)<<32 | uint64(uint32(hi))
+	if r, ok := p.rots.Load(key); ok {
+		return r.(*bandRot)
+	}
+	r := &bandRot{lo: lo, hi: hi, re: make([]float64, hi-lo), im: make([]float64, hi-lo)}
+	for k := lo; k < hi; k++ {
+		ang := 2 * math.Pi * float64(k) / float64(p.n)
+		r.re[k-lo] = math.Cos(ang)
+		r.im[k-lo] = math.Sin(ang)
+	}
+	actual, _ := p.rots.LoadOrStore(key, r)
+	return actual.(*bandRot)
 }

@@ -128,6 +128,16 @@ func New(cfg Config) (*AuthService, error) {
 	pool := detect.NewPool(cfg.Workers)
 	det.UsePool(pool)
 	det.UsePlans(plans)
+	// Pin the scan scratch now, one workspace per pool worker plus the
+	// submitting goroutine: the full-length spectrum buffers, the packed
+	// FFT scratch, and (when the configured coarse step streams) the
+	// sliding-DFT state and its rotation table all live in the detector's
+	// workspace pool for the service lifetime, so steady-state sessions
+	// run the band-limited engine allocation-free from the first request.
+	if err := det.Prewarm(cfg.Core.Signal, cfg.Workers+1); err != nil {
+		pool.Close()
+		return nil, fmt.Errorf("service: %w", err)
+	}
 	return &AuthService{
 		cfg:   cfg,
 		pool:  pool,

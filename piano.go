@@ -25,7 +25,12 @@
 // hubs that authenticate many users concurrently use a Service instead: a
 // long-lived server that accepts concurrent Authenticate calls and batches
 // every session's signal-detection work through one bounded worker pool
-// with FFT plans pinned per window length. Each session keeps its own
+// with FFT plans pinned per window length. Detection runs the band-limited
+// scan engine — per-window spectra are computed only over the candidate
+// band Algorithm 2 reads, streamed incrementally between windows when the
+// scan step is below the measured sliding-DFT break-even — and the service
+// prewarms each worker's scan scratch at construction, so steady-state
+// traffic allocates nothing on the scan path. Each session keeps its own
 // seeded RNG stream, so its decision is bit-identical to running the same
 // request through a Deployment — at any concurrency level.
 //
