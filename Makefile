@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-auth bench-detect bench-service cover clean
+.PHONY: all build vet test test-race bench bench-smoke bench-auth bench-detect bench-render bench-service cover docs-check clean
 
 all: vet build test
 
@@ -44,6 +44,19 @@ bench-service:
 bench-detect:
 	$(GO) test -run '^$$' -bench 'BenchmarkDetectAll' -benchmem -benchtime 5x ./internal/detect/
 	$(GO) test -run '^$$' -bench 'PowerSpectrumInto|PowerSpectrumBandInto|SlidingBandDFT|BandScorer' -benchmem ./internal/dsp/
+
+# The acoustic renderer: per-tap (RenderNaive oracle) vs composite-kernel
+# mixing, interleaved A/B at several tap counts (BENCH_render.json /
+# PERFORMANCE.md).
+bench-render:
+	$(GO) test -run '^$$' -bench 'BenchmarkRenderMix|BenchmarkRender$$|BenchmarkRenderNaive' -benchmem -count=3 -benchtime 20x ./internal/world/
+
+# Documentation gate: vet + the stdlib-only lint in tools/docscheck
+# (package comments everywhere, doc.go + exported-comment rules for library
+# packages, README/ARCHITECTURE presence). CI runs this on every push.
+docs-check:
+	$(GO) vet ./...
+	$(GO) run ./tools/docscheck
 
 cover:
 	$(GO) test -cover ./...

@@ -1,10 +1,3 @@
-// Package acoustic simulates the physical layer the paper's prototype
-// exercised with real speakers and microphones: sound propagation with
-// distance-dependent delay and attenuation, multipath reflections and
-// transducer imperfections (the source of the paper's "frequency smoothing"
-// effect), wall transmission loss, and per-environment ambient noise whose
-// power concentrates below 6 kHz — exactly the measurement that led the
-// authors to place the candidate band at [25 kHz, 35 kHz].
 package acoustic
 
 import (
@@ -12,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"github.com/acoustic-auth/piano/internal/dsp"
 )
 
 // SpeedOfSoundMPS is the propagation speed used throughout (the paper uses
@@ -101,7 +96,53 @@ type Path struct {
 	// Blocked reports whether the path is attenuated below usefulness
 	// (kept for diagnostics; blocked paths still render, just faintly).
 	Blocked bool
+
+	// Composite-kernel cache (see CompositeKernel). The kernel depends on
+	// the play's base arrival and the destination's rate ratio, so those
+	// form the cache key; the taps themselves are baked in at build time.
+	kernel     *dsp.SparseFIR
+	kernelBase float64
+	kernelRate float64
 }
+
+// CompositeKernel folds the path's taps into one sparse FIR for a play whose
+// direct-path (tap-0) arrival lands at baseArrival destination samples, with
+// tapRate converting tap delays (scene-rate samples) into destination
+// samples (destination true rate ÷ scene sample rate; ≠1 only under clock
+// skew). Tap t lands at offset baseArrival + Taps[t].DelaySamples·tapRate,
+// so applying the returned FIR once (audio.MixSparseFIR) replaces one
+// windowed-sinc mix per tap with bit-equivalent coefficients folded from the
+// same dsp.SincDelayKernel — only the floating-point summation order
+// changes.
+//
+// The kernel is cached on the path and rebuilt only when (baseArrival,
+// tapRate) changes. Geometry and channel-config changes invalidate it
+// structurally: paths are drawn fresh from the scene RNG on every render
+// (world.Render → NewPath), so a mutated scene never sees a stale kernel —
+// the regression tests in world pin that. Callers that mutate Taps on a
+// live Path (tests, mostly) must call InvalidateKernel afterwards.
+//
+// The returned FIR is owned by the path; treat it as read-only. A Path is
+// not safe for concurrent CompositeKernel calls (the renderer gives each
+// goroutine its own paths).
+func (p *Path) CompositeKernel(baseArrival, tapRate float64) *dsp.SparseFIR {
+	if p.kernel != nil && p.kernelBase == baseArrival && p.kernelRate == tapRate {
+		return p.kernel
+	}
+	taps := make([]dsp.FIRTap, len(p.Taps))
+	for i, t := range p.Taps {
+		taps[i] = dsp.FIRTap{Offset: baseArrival + t.DelaySamples*tapRate, Gain: t.Gain}
+	}
+	p.kernel = dsp.NewSparseFIR(taps)
+	p.kernelBase, p.kernelRate = baseArrival, tapRate
+	return p.kernel
+}
+
+// InvalidateKernel drops the cached composite kernel so the next
+// CompositeKernel call rebuilds it. Only needed after mutating Taps on a
+// Path that has already handed out a kernel; NewPath-built paths start
+// clean.
+func (p *Path) InvalidateKernel() { p.kernel = nil }
 
 // allpassTail is the extra buffer length appended to hold the dispersion
 // tail of the allpass cascade.

@@ -1,0 +1,94 @@
+package acoustic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newTestPath(t *testing.T, taps int) *Path {
+	t.Helper()
+	cfg := DefaultChannelConfig()
+	cfg.TransducerTaps = taps
+	p, err := NewPath(cfg, ProfileFor(EnvOffice), 1.0, true, 44100, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCompositeKernelCachedOnPath pins the memoization contract: repeated
+// calls with the same (baseArrival, tapRate) key return the same kernel
+// without rebuilding; a changed key rebuilds.
+func TestCompositeKernelCachedOnPath(t *testing.T) {
+	p := newTestPath(t, 4)
+	k1 := p.CompositeKernel(1234.25, 1)
+	if k1.TapCount != len(p.Taps) {
+		t.Fatalf("kernel folded %d taps, path has %d", k1.TapCount, len(p.Taps))
+	}
+	if k2 := p.CompositeKernel(1234.25, 1); k2 != k1 {
+		t.Fatal("same key rebuilt the kernel; want the cached one")
+	}
+	k3 := p.CompositeKernel(1234.75, 1)
+	if k3 == k1 {
+		t.Fatal("changed baseArrival returned the stale cached kernel")
+	}
+	if k4 := p.CompositeKernel(1234.75, 1+3e-5); k4 == k3 {
+		t.Fatal("changed tapRate (clock skew) returned the stale cached kernel")
+	}
+}
+
+// TestCompositeKernelShiftsWithBaseArrival sanity-checks the folded
+// geometry: moving the base arrival by exactly one sample shifts every
+// segment by one coefficient index and leaves the coefficients unchanged.
+func TestCompositeKernelShiftsWithBaseArrival(t *testing.T) {
+	p := newTestPath(t, 3)
+	a := p.CompositeKernel(500.3, 1)
+	aSegs := make([]FIRSnapshot, 0, len(a.Segments))
+	for _, s := range a.Segments {
+		aSegs = append(aSegs, FIRSnapshot{Start: s.Start, Coeffs: append([]float64(nil), s.Coeffs...)})
+	}
+	b := p.CompositeKernel(501.3, 1)
+	if len(b.Segments) != len(aSegs) {
+		t.Fatalf("segment count changed: %d → %d", len(aSegs), len(b.Segments))
+	}
+	for i, s := range b.Segments {
+		if s.Start != aSegs[i].Start+1 {
+			t.Fatalf("segment %d start %d, want %d", i, s.Start, aSegs[i].Start+1)
+		}
+		for j, c := range s.Coeffs {
+			if c != aSegs[i].Coeffs[j] {
+				t.Fatalf("segment %d coeff %d changed: %g != %g", i, j, c, aSegs[i].Coeffs[j])
+			}
+		}
+	}
+}
+
+// FIRSnapshot is a test-local copy of one kernel segment (the kernel returned
+// by CompositeKernel is overwritten by the next rebuild).
+type FIRSnapshot struct {
+	Start  int
+	Coeffs []float64
+}
+
+// TestCompositeKernelInvalidate is the cache-invalidation regression test at
+// the path level: after mutating Taps, the cached kernel is stale by
+// contract until InvalidateKernel is called, and the rebuild reflects the
+// mutation. (World-level invalidation — geometry/config changes — is
+// structural: every render draws fresh paths; see the world tests.)
+func TestCompositeKernelInvalidate(t *testing.T) {
+	p := newTestPath(t, 2)
+	k1 := p.CompositeKernel(100, 1)
+
+	p.Taps[0].Gain *= 2
+	if k := p.CompositeKernel(100, 1); k != k1 {
+		t.Fatal("documented contract: without InvalidateKernel the cached kernel is returned")
+	}
+	p.InvalidateKernel()
+	k2 := p.CompositeKernel(100, 1)
+	if k2 == k1 {
+		t.Fatal("InvalidateKernel did not force a rebuild")
+	}
+	if k2.TapCount != len(p.Taps) {
+		t.Fatalf("rebuilt kernel folded %d taps, want %d", k2.TapCount, len(p.Taps))
+	}
+}

@@ -1,0 +1,26 @@
+// Package acoustic simulates the physical layer the paper's prototype
+// exercised with real speakers and microphones: sound propagation with
+// distance-dependent delay and attenuation, multipath reflections and
+// transducer imperfections (the source of the paper's "frequency smoothing"
+// effect), wall transmission loss, and per-environment ambient noise whose
+// power concentrates below 6 kHz — exactly the measurement that led the
+// authors to place the candidate band at [25 kHz, 35 kHz].
+//
+// Key types: ChannelConfig holds the physical constants of the air channel
+// (spreading gain, wall loss, transducer tap count); Profile describes one
+// environment's ambient noise and reflection richness (ProfileFor calibrates
+// office/home/restaurant/street to the paper's Fig. 1 error bands); Path is
+// the complete impulse response between one speaker and one microphone — a
+// base delay, a set of Taps, and an allpass cascade modelling transducer
+// phase dispersion. Path.CompositeKernel folds all taps into one
+// dsp.SparseFIR so the renderer convolves each play once instead of once per
+// tap; the kernel is cached on the path, keyed by the play's base arrival
+// and rate ratio, and invalidated structurally because geometry or config
+// changes always draw fresh paths.
+//
+// Invariants: NewPath consumes the scene RNG in a fixed order (seeded
+// reproducibility depends on it); AllpassWorkspace owns its scratch and its
+// Apply result is valid only until the next Apply, so each rendering
+// goroutine needs its own workspace; a Path's Taps must not be mutated after
+// CompositeKernel has been called without calling InvalidateKernel.
+package acoustic

@@ -1,0 +1,15 @@
+// Package attack implements the paper's threat harness (§III, §V, §VI-E):
+// zero-effort attacks, guessing-based replay attacks, all-frequency-based
+// spoofing attacks, and the benign multi-user interference of Fig. 2(a).
+// Attacks are expressed as core.ExtraPlay injections into the ACTION
+// session's acoustic scene.
+//
+// Ownership invariant: sessions schedule ExtraPlay.Samples by reference
+// (the world stopped deep-copying scheduled waveforms), so every
+// constructor here returns plays backed by freshly synthesized slices that
+// nothing else aliases — callers may hand them to one session and forget
+// them. Callers that inject the same plays into several sessions may do so
+// concurrently only because sessions never write scheduled samples; what
+// they must not do is mutate a returned Samples slice while any session
+// using it is in flight.
+package attack

@@ -1,0 +1,134 @@
+package audio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/acoustic-auth/piano/internal/dsp"
+)
+
+// mixBothWays runs the same tap set through the per-tap oracle
+// (MixFloatSincGain, one call per tap) and through the folded composite
+// kernel (one MixSparseFIR call) and returns both accumulators.
+func mixBothWays(taps []dsp.FIRTap, src []float64, n int) (perTap, composite []float64) {
+	perTap = make([]float64, n)
+	for _, tap := range taps {
+		MixFloatSincGain(perTap, src, tap.Offset, tap.Gain)
+	}
+	composite = make([]float64, n)
+	MixSparseFIR(composite, src, dsp.NewSparseFIR(taps))
+	return perTap, composite
+}
+
+func assertParity(t *testing.T, perTap, composite []float64) {
+	t.Helper()
+	peak := 0.0
+	for _, v := range perTap {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	tol := 1e-9 * math.Max(1, peak)
+	for i := range perTap {
+		if d := math.Abs(perTap[i] - composite[i]); d > tol {
+			t.Fatalf("sample %d: per-tap %g vs composite %g (diff %g > tol %g)",
+				i, perTap[i], composite[i], d, tol)
+		}
+	}
+}
+
+// TestMixSparseFIRMatchesPerTapMix is the mixer-level parity oracle: folding
+// taps into one sparse FIR and convolving once must match one
+// MixFloatSincGain per tap to within 1e-9 of the peak (only the summation
+// order differs; the coefficients come from the same dsp.SincDelayKernel).
+func TestMixSparseFIRMatchesPerTapMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	src := make([]float64, 3000)
+	for i := range src {
+		src[i] = 2*rng.Float64() - 1
+	}
+	cases := map[string][]dsp.FIRTap{
+		"single fractional": {{Offset: 100.37, Gain: 0.8}},
+		"single integer":    {{Offset: 100, Gain: 0.8}},
+		"clustered": {
+			{Offset: 50.0, Gain: 0.9}, {Offset: 51.3, Gain: -0.1},
+			{Offset: 52.7, Gain: 0.05}, {Offset: 53.1, Gain: 0.02},
+		},
+		"clustered plus distant reflections": {
+			{Offset: 40.6, Gain: 0.7}, {Offset: 41.9, Gain: 0.1},
+			{Offset: 140.25, Gain: -0.04}, {Offset: 900.75, Gain: 0.03},
+		},
+		"mixed integer and fractional": {
+			{Offset: 10, Gain: 0.5}, {Offset: 10.5, Gain: 0.25}, {Offset: 11, Gain: -0.125},
+		},
+	}
+	for name, taps := range cases {
+		t.Run(name, func(t *testing.T) {
+			perTap, composite := mixBothWays(taps, src, 5000)
+			assertParity(t, perTap, composite)
+		})
+	}
+}
+
+// TestMixSparseFIRManyRandomTaps drives parity at the tap counts where the
+// composite path actually pays off (the ≥8-tap acceptance case) with random
+// geometry, including negative gains and sub-sample clustering.
+func TestMixSparseFIRManyRandomTaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := make([]float64, 2000)
+	for i := range src {
+		src[i] = 2*rng.Float64() - 1
+	}
+	for _, tapCount := range []int{8, 24} {
+		taps := make([]dsp.FIRTap, tapCount)
+		taps[0] = dsp.FIRTap{Offset: 200 + rng.Float64(), Gain: 0.8}
+		for i := 1; i < tapCount; i++ {
+			taps[i] = dsp.FIRTap{
+				Offset: 200 + rng.Float64()*120,
+				Gain:   (2*rng.Float64() - 1) * 0.2,
+			}
+		}
+		perTap, composite := mixBothWays(taps, src, 4000)
+		assertParity(t, perTap, composite)
+	}
+}
+
+// TestMixSparseFIREdgeClipping pins the checked edge paths: kernels that
+// fall partially before dst[0] or past the end must clip exactly like the
+// per-tap mixer's bounds checks.
+func TestMixSparseFIREdgeClipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := make([]float64, 300)
+	for i := range src {
+		src[i] = 2*rng.Float64() - 1
+	}
+	taps := []dsp.FIRTap{
+		{Offset: -40.5, Gain: 0.6}, // mostly before dst start
+		{Offset: -3.25, Gain: 0.3}, // straddles dst start
+		{Offset: 70.75, Gain: 0.5}, // straddles dst end (dst shorter than src span)
+	}
+	perTap, composite := mixBothWays(taps, src, 120)
+	assertParity(t, perTap, composite)
+
+	// Degenerate inputs must be no-ops, matching the per-tap mixer.
+	MixSparseFIR(nil, src, dsp.NewSparseFIR(taps))
+	MixSparseFIR(make([]float64, 10), nil, dsp.NewSparseFIR(taps))
+	MixSparseFIR(make([]float64, 10), src, nil)
+}
+
+// TestMixCallCounters pins the op-count instrumentation the renderer tests
+// rely on: each mixer bumps its own counter exactly once per call.
+func TestMixCallCounters(t *testing.T) {
+	dst := make([]float64, 64)
+	src := []float64{1, 2, 3}
+	s0, f0 := SincMixCalls(), SparseFIRMixCalls()
+	MixFloatSincGain(dst, src, 4.5, 1)
+	MixSparseFIR(dst, src, dsp.NewSparseFIR([]dsp.FIRTap{{Offset: 4.5, Gain: 1}}))
+	if got := SincMixCalls() - s0; got != 1 {
+		t.Fatalf("sinc mix counter advanced by %d, want 1", got)
+	}
+	if got := SparseFIRMixCalls() - f0; got != 1 {
+		t.Fatalf("sparse FIR mix counter advanced by %d, want 1", got)
+	}
+}

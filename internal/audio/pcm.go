@@ -1,7 +1,3 @@
-// Package audio provides the PCM sample handling shared by the simulated
-// devices and the acoustic channel: 16-bit buffers with saturating mixing
-// (matching Android's 16-bit audio path the paper's prototype uses),
-// fractional-delay application, and WAV encoding for debugging artifacts.
 package audio
 
 import (

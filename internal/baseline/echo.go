@@ -1,13 +1,3 @@
-// Package baseline implements the comparison protocols of Fig. 2(b):
-//
-//   - ACTION-CC — ACTION with the frequency-based detector replaced by
-//     cross-correlation (provided via core.DetectCrossCorrelation; this
-//     package offers a convenience wrapper);
-//   - Echo-Secure — the Echo distance-bounding protocol hardened with
-//     randomized reference signals and the frequency-based detector. It
-//     remains inaccurate because it is one-way: the unpredictable audio
-//     processing delay enters the estimate directly and can only be
-//     subtracted as a calibrated average.
 package baseline
 
 import (

@@ -1,13 +1,3 @@
-// Package bluetooth simulates the registration-phase pairing and the secure
-// channel the ACTION protocol uses to ship reference signals and location
-// differences between devices (paper §IV, Steps II and V).
-//
-// Pairing performs a real ECDH (P-256) key agreement and derives an
-// AES-256-GCM channel key, so the "attacker cannot eavesdrop the reference
-// signals" assumption is enforced by actual cryptography rather than by
-// fiat. The link also models Bluetooth's transmission latency and its
-// ~10 m communication range — the range is what makes PIANO's false-accept
-// rate exactly zero beyond 10 m (paper §VI-C).
 package bluetooth
 
 import (

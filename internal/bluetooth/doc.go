@@ -1,0 +1,16 @@
+// Package bluetooth simulates the registration-phase pairing and the secure
+// channel the ACTION protocol uses to ship reference signals and location
+// differences between devices (paper §IV, Steps II and V).
+//
+// Pairing performs a real ECDH (P-256) key agreement and derives an
+// AES-256-GCM channel key, so the "attacker cannot eavesdrop the reference
+// signals" assumption is enforced by actual cryptography rather than by
+// fiat. The Link also models Bluetooth's transmission latency and its
+// ~10 m communication range — the range is what makes PIANO's false-accept
+// rate exactly zero beyond 10 m (paper §VI-C).
+//
+// Invariants: Send draws its latency from the caller's session RNG (part of
+// the session's fixed draw order); messages are authenticated-encrypted in
+// transit and tampering is detected by GCM, which the tests exercise by
+// flipping ciphertext bits.
+package bluetooth

@@ -1,6 +1,3 @@
-// Package core implements the paper's two contributions: the ACTION
-// acoustic distance-estimation protocol (Steps I–VI of §IV) and the PIANO
-// proximity-based authenticator built on top of it.
 package core
 
 import (

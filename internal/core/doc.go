@@ -1,0 +1,22 @@
+// Package core implements the paper's two contributions: the ACTION
+// acoustic distance-estimation protocol (Steps I–VI of §IV) and the PIANO
+// proximity-based authenticator built on top of it.
+//
+// Key entry points: RunACTION executes one complete distance estimation —
+// signal construction (sigref), descriptor exchange over the secure channel
+// (bluetooth), scene render (world), two-signal detection on each device
+// (detect), and the clock-offset-free Eq. 3 distance. RunACTIONWith is the
+// same session with service-owned machinery injected via SessionDeps (a
+// shared detect.Detector whose Config must equal the session's — a mismatch
+// is rejected rather than silently diverging). Authenticator wraps the
+// protocol in the paper's Algorithm 1 decision rule with the τ threshold;
+// ExtraPlay injects interferers and attackers into the scene.
+//
+// Invariants: a session's rng must be private to it — every draw happens in
+// a fixed sequential order, which is what makes a seeded session
+// reproducible and concurrent service sessions bit-identical to serial
+// runs. ExtraPlay.Samples are scheduled by reference and never written;
+// callers must not mutate them while a session is in flight. The two
+// devices' detections run in parallel goroutines, but each scan reduces
+// deterministically, so the session result does not depend on scheduling.
+package core

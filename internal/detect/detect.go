@@ -1,18 +1,3 @@
-// Package detect implements the paper's signal-detection algorithms:
-//
-//   - Algorithm 2 (NormPower): the sanity-checked spectral matcher that
-//     scores how well a window of recorded audio matches a reference
-//     signal's power spectrum, with the α (attenuation floor), β (foreign
-//     frequency ceiling), and θ (frequency-smoothing aggregation width)
-//     parameters;
-//   - Algorithm 1: the sliding-window search for a reference signal's
-//     location, with the prototype's adaptive two-stage step (coarse 1000,
-//     fine 10), the simultaneous two-signal single-scan optimization, and
-//     the ε·R_S absent-signal check that denies authentication when the
-//     signal never reached the microphone.
-//
-// It also provides the cross-correlation detector used by the ACTION-CC
-// baseline of Fig. 2(b).
 package detect
 
 import (

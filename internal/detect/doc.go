@@ -1,0 +1,27 @@
+// Package detect implements the paper's signal-detection algorithms:
+// Algorithm 2 (NormPower), the sanity-checked spectral matcher that scores
+// how well a window of recorded audio matches a reference signal's power
+// spectrum — with the α (attenuation floor), β (foreign-frequency ceiling),
+// and θ (frequency-smoothing aggregation width) parameters — and
+// Algorithm 1, the sliding-window search for a reference signal's location
+// with the prototype's adaptive two-stage step (coarse 1000, fine 10), the
+// simultaneous two-signal single-scan optimization, and the ε·R_S
+// absent-signal check. It also provides the cross-correlation detector used
+// by the ACTION-CC baseline of Fig. 2(b).
+//
+// Key types: Config carries the algorithm parameters plus the candidate
+// band (derived by CandidateBand or pinned via CandidateBandLo/Hi, both
+// validated); Detector owns pooled per-worker scan workspaces and runs
+// DetectAll, the two-signal scan; Pool is the bounded worker set a batching
+// service shares across sessions, with cooperative idle-worker recruitment.
+// Scans compute per-window spectra only over the candidate band and switch
+// to the streaming sliding-DFT engine below the measured dsp.StreamingWins
+// break-even.
+//
+// Invariants: scans are bit-deterministic at any GOMAXPROCS and pool size —
+// coarse-scan workers claim contiguous hop blocks aligned to the streaming
+// resync grid, and window scores reduce in window order regardless of which
+// worker computed them. Scan workspaces are recycled across sessions and
+// allocate nothing in steady state (Prewarm builds them up front); a
+// truncated recording errors instead of panicking.
+package detect

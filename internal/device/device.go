@@ -1,8 +1,3 @@
-// Package device models the simulated IoT endpoints of the paper's
-// prototype: each device owns a speaker, a microphone with its own sample
-// clock (offset + ppm skew), a position in the scene, and the unpredictable
-// audio-path processing delay that the paper identifies as the reason
-// one-way protocols like Echo are inaccurate on commodity hardware.
 package device
 
 import (

@@ -1,0 +1,17 @@
+// Package device models the simulated IoT endpoints of the paper's
+// prototype: each Device owns a speaker, a microphone with its own sample
+// clock (simclock.Clock: offset + ppm skew), a position and room in the
+// scene, and the unpredictable audio-path processing delay that the paper
+// identifies as the reason one-way protocols like Echo are inaccurate on
+// commodity hardware.
+//
+// Key types: Config/New build a device; ProcessingDelay samples the
+// command-to-sound latency distribution; helpers expose geometry
+// (DistanceTo, SameRoom, SelfDistance) and per-session clock resets.
+//
+// Invariants: a Device is mutable session state (positions move, clocks
+// reset between sessions), so devices are built per session or guarded by
+// the session serialization of their Deployment; the clock's nominal rate
+// is what protocol code sees while the true (skewed) rate drives rendering,
+// which is exactly the mismatch ACTION's Eq. 3 is designed to tolerate.
+package device

@@ -1,0 +1,26 @@
+// Package dsp provides the digital-signal-processing primitives PIANO's
+// distance-estimation protocol is built on: planned real-input FFTs, power
+// spectra (full, band-restricted, and streaming), window functions,
+// sinusoid synthesis, cross-correlation, Goertzel single-bin evaluation,
+// and the sparse composite FIR kernels the acoustic renderer convolves
+// with. The package is deliberately dependency-free (stdlib only) because
+// the simulated IoT devices run the exact same code an embedded port would.
+//
+// Key types: FFTPlan precomputes twiddle/bit-reversal tables for one window
+// length and transforms real input with zero allocations into caller
+// scratch (PowerSpectrumInto, and PowerSpectrumBandInto which unpacks only
+// the candidate band); PlanSet pins one plan per window length for
+// lock-free hot-path lookup; SlidingBandDFT advances band spectra
+// incrementally per hop with periodic full-FFT resync, used below the
+// measured StreamingWins break-even; BandScorer picks Goertzel vs FFT by
+// the measured crossover; SparseFIR folds many fractional-delay taps
+// (FIRTap) into a few dense coefficient segments using the canonical
+// Hann-windowed sinc kernel (SincDelayKernel — the single source of truth
+// shared with audio's per-tap mixer).
+//
+// Invariants: *Into methods write into caller-owned scratch and allocate
+// nothing on the hot path; plan methods are safe for concurrent use but
+// workspaces are not (one per goroutine); naive reference implementations
+// (CrossCorrelateNaive) are kept as test oracles for every optimized path,
+// agreeing to floating-point rounding rather than bit-exactly.
+package dsp

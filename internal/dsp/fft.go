@@ -1,9 +1,3 @@
-// Package dsp provides the digital-signal-processing primitives PIANO's
-// distance-estimation protocol is built on: an iterative radix-2 FFT, power
-// spectra, window functions, sinusoid synthesis, and cross-correlation.
-//
-// The package is deliberately dependency-free (stdlib only) because the
-// simulated IoT devices run the exact same code an embedded port would.
 package dsp
 
 import (

@@ -1,0 +1,11 @@
+// Package energy reproduces the paper's PowerTutor-style accounting
+// (§VI-D): a component PowerModel for a Galaxy-S4-class device and a
+// per-authentication Ledger, used to regenerate the "100 authentications
+// consume ≈0.6% of the battery" result. Battery tracks cumulative drain
+// against the handset's capacity.
+//
+// Invariant: the ledger only accumulates durations the session actually
+// modeled (Bluetooth exchange, playback, recording, detection CPU), so the
+// energy figures move in lockstep with the latency model rather than being
+// estimated independently.
+package energy

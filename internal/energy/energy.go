@@ -1,7 +1,3 @@
-// Package energy reproduces the paper's PowerTutor-style accounting
-// (§VI-D): a component power model for a Galaxy-S4-class device and a
-// per-authentication ledger, used to regenerate the "100 authentications
-// consume ≈0.6% of the battery" result.
 package energy
 
 import (

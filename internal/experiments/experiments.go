@@ -1,7 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§VI). Each runner returns structured results; Fprint helpers
-// render them in the paper's units so the output can be compared row by
-// row against the published numbers (see EXPERIMENTS.md).
 package experiments
 
 import (

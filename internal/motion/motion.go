@@ -1,9 +1,3 @@
-// Package motion implements the paper's §VI-D latency optimization sketch:
-// "when accelerometer and gyroscope data are available, we can detect a
-// device is picked up. Therefore, we can perform authentication before the
-// device is used." It provides synthetic 3-axis accelerometer traces and a
-// jerk-based pickup detector; the pickup event triggers PIANO early so the
-// ~2.4 s authentication overlaps the user's grab-and-speak gesture.
 package motion
 
 import (

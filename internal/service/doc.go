@@ -1,0 +1,23 @@
+// Package service turns the per-call PIANO session machinery into a
+// long-lived, concurrency-safe authentication service — the batched
+// multi-session server the always-on voice-powered hub deployment needs.
+//
+// One AuthService owns, for its whole lifetime: a bounded detect.Pool of
+// scan workers shared by every session (concurrent sessions batch their
+// Step-IV windows through one worker set instead of each fanning out its
+// own goroutines); one shared detect.Detector whose pooled FFT workspaces
+// and score buffers are recycled across sessions; and a dsp.PlanSet pinning
+// one FFT plan per window length the configured signal design can produce,
+// resolved lock-free on the hot path. Construction prewarms one scan
+// workspace per worker, so steady-state traffic allocates nothing on the
+// scan path.
+//
+// Invariants: each Authenticate call is one complete PIANO session with a
+// session-private seeded RNG stream; because every random draw a session
+// makes comes from its own stream, and window scores reduce in window order
+// regardless of which pool workers computed them, a session's result is
+// bit-identical to running the same request through the serial
+// piano.Deployment path — at any concurrency level (race-tested). The pool
+// recruits a session's own goroutine when all workers are busy, so a
+// saturated service degrades to serial execution instead of deadlocking.
+package service

@@ -1,12 +1,3 @@
-// Package sigref implements Step I of the ACTION protocol: construction of
-// frequency-domain randomized reference signals.
-//
-// A reference signal is a sum of n sinusoids (1 ≤ n < N) whose frequencies
-// are drawn uniformly at random without replacement from N candidate
-// frequencies — the centers of N equal bins spanning [25 kHz, 35 kHz] in the
-// paper's configuration. Each sinusoid has amplitude FullScale/n so the sum
-// never clips the 16-bit PCM range, giving per-frequency reference power
-// R_f = (FullScale/n)² under the dsp.PowerSpectrum normalization.
 package sigref
 
 import (

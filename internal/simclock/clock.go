@@ -1,8 +1,3 @@
-// Package simclock models the per-device time coordinates of the paper's
-// protocol. Each device has its own clock origin (an arbitrary offset from
-// global simulation time) and a slightly skewed sample clock (crystal ppm
-// error). ACTION's Eq. 3 is designed so these never need to be reconciled;
-// the simulator keeps them distinct precisely so tests can prove that.
 package simclock
 
 import "fmt"

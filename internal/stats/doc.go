@@ -1,0 +1,11 @@
+// Package stats provides the statistical machinery of the paper's
+// evaluation: error-bar aggregation for the distance experiments (Figs. 1
+// and 2) and the Gaussian decision model of §VI-C used to compute the FRR
+// and FAR tables (Tables I and II), plus the analytic spoofing-success
+// probability of §V.
+//
+// Aggregations are order-deterministic (summaries of the same sample set
+// are bit-identical regardless of how trials were parallelized upstream),
+// and the decision model is closed-form, so table regeneration is exact
+// rather than Monte Carlo.
+package stats

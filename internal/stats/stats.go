@@ -1,8 +1,3 @@
-// Package stats provides the statistical machinery of the paper's
-// evaluation: error-bar aggregation for the distance experiments (Figs. 1
-// and 2) and the Gaussian decision model of §VI-C used to compute the FRR
-// and FAR tables (Tables I and II), plus the analytic spoofing-success
-// probability of §V.
 package stats
 
 import (

@@ -1,0 +1,103 @@
+package world
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden re-baselines testdata/render_golden.json.
+//
+// Golden re-baseline procedure (see also PERFORMANCE.md): any change to the
+// renderer's floating-point summation order — like PR 4's composite-kernel
+// fold, which sums per-tap kernel coefficients before multiplying the source
+// instead of accumulating tap by tap — legitimately changes recordings at
+// the ~1e-12 relative level and therefore the checksums below. Such a change
+// must (1) pass TestRenderCompositeMatchesNaive (≤1e-9 of peak against the
+// per-tap oracle) and TestRenderDeterministicAcrossGOMAXPROCS first, then
+// (2) re-record the baseline explicitly:
+//
+//	go test ./internal/world/ -run TestRenderGolden -update
+//
+// and (3) call out the re-baseline in the PR/PERFORMANCE.md. A golden diff
+// without a deliberate summation-order change is a regression.
+var updateGolden = flag.Bool("update", false, "re-baseline the golden render checksums in testdata/")
+
+const goldenPath = "testdata/render_golden.json"
+
+// renderChecksum renders the scene and returns one FNV-1a/64 hex digest per
+// device over the little-endian int16 recording — a compact whole-recording
+// fingerprint of bit-exact output.
+func renderChecksum(t *testing.T, w *World) map[string]string {
+	t.Helper()
+	recs, err := w.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(recs))
+	var b [2]byte
+	for d, buf := range recs {
+		h := fnv.New64a()
+		for _, s := range buf.Samples {
+			binary.LittleEndian.PutUint16(b[:], uint16(s))
+			h.Write(b[:])
+		}
+		out[d.Name()] = fmt.Sprintf("%016x", h.Sum64())
+	}
+	return out
+}
+
+// TestRenderGolden pins the renderer's exact output for two seeded scenes
+// (the default 2-tap channel and a dense 12-tap one). The goldens were
+// recorded on linux/amd64 with the composite-kernel mixer; Go floating-point
+// is deterministic per architecture, but compilers may fuse multiply-adds on
+// some targets (e.g. arm64), so on a non-amd64 machine a mismatch here with
+// every other world test green means "re-baseline locally", not "broken".
+func TestRenderGolden(t *testing.T) {
+	got := map[string]map[string]string{
+		"seed77_taps2":  renderChecksum(t, buildScene(t, 77, 2)),
+		"seed78_taps12": renderChecksum(t, buildScene(t, 78, 12)),
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("re-baselined %s", goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden baseline (run with -update to record it): %v", err)
+	}
+	var want map[string]map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for scene, devs := range want {
+		for name, sum := range devs {
+			if got[scene][name] != sum {
+				t.Errorf("%s device %q: checksum %s, golden %s — see the re-baseline procedure at the top of this file",
+					scene, name, got[scene][name], sum)
+			}
+		}
+	}
+	for scene := range got {
+		if _, ok := want[scene]; !ok {
+			t.Errorf("scene %s missing from golden file; run with -update", scene)
+		}
+	}
+}

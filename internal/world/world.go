@@ -1,7 +1,3 @@
-// Package world renders the shared acoustic scene: every scheduled speaker
-// playback propagates through the channel model to every microphone, then
-// each device's recording is quantized to the int16 PCM its detector sees.
-// This is the simulation substitute for the paper's physical testbed.
 package world
 
 import (
@@ -229,9 +225,56 @@ func (w *World) drawJobs() ([]renderJob, error) {
 
 // mix computes one microphone's recording from pre-drawn randomness. It is
 // the render hot path: per play one allpass cascade into workspace-owned
-// scratch, then one gain-folded windowed-sinc mix per tap — no per-play or
-// per-tap heap allocations.
+// scratch, then the path's taps folded into one composite sparse FIR
+// (acoustic.Path.CompositeKernel) applied by a single convolution
+// (audio.MixSparseFIR) — exactly one convolution per play per path, and a
+// per-path-constant number of heap allocations however many taps the channel
+// has.
+//
+// Folding the taps first changes the floating-point summation order relative
+// to the historical per-tap loop (kept below as mixNaive / RenderNaive, the
+// parity oracle): coefficients that land on the same destination sample are
+// summed inside the kernel before multiplying the source sample, instead of
+// accumulating per tap. Outputs therefore agree with the oracle to ~1e-12
+// relative — not bit-exactly — which is why the golden recordings under
+// testdata/ were re-baselined for this path (procedure: world_golden_test.go
+// and PERFORMANCE.md).
 func (w *World) mix(job *renderJob) *audio.Buffer {
+	return &audio.Buffer{SampleRate: job.dst.SampleRate(), Samples: audio.FromFloat(w.mixFloat(job))}
+}
+
+// mixFloat is mix before int16 quantization; split out so parity tests can
+// compare the composite and naive mixers in the float domain, where sub-LSB
+// differences are visible.
+func (w *World) mixFloat(job *renderJob) []float64 {
+	acc := make([]float64, job.n)
+	var allpass acoustic.AllpassWorkspace
+	rate := job.dst.Clock().TrueRate() / w.cfg.SampleRate
+
+	for pi, play := range w.plays {
+		path := job.paths[pi]
+		dispersed := allpass.Apply(play.samples, path.AllpassCoeffs)
+		base := job.dst.Clock().SampleAt(play.startSec + path.BaseDelaySamples/w.cfg.SampleRate)
+		audio.MixSparseFIR(acc, dispersed, path.CompositeKernel(base, rate))
+	}
+
+	for i := range acc {
+		acc[i] += job.noise[i]
+	}
+	return acc
+}
+
+// mixNaive is the historical per-tap mixing loop: one gain-folded
+// windowed-sinc mix per impulse-response tap. Kept as the composite kernel's
+// test oracle (the CrossCorrelateNaive pattern): it consumes the same
+// pre-drawn renderJob, so a seeded scene rendered through RenderNaive is the
+// tap-by-tap ground truth the composite path must match to ~1e-9 relative.
+func (w *World) mixNaive(job *renderJob) *audio.Buffer {
+	return &audio.Buffer{SampleRate: job.dst.SampleRate(), Samples: audio.FromFloat(w.mixNaiveFloat(job))}
+}
+
+// mixNaiveFloat is mixNaive before int16 quantization (see mixFloat).
+func (w *World) mixNaiveFloat(job *renderJob) []float64 {
 	acc := make([]float64, job.n)
 	var allpass acoustic.AllpassWorkspace
 
@@ -248,5 +291,22 @@ func (w *World) mix(job *renderJob) *audio.Buffer {
 	for i := range acc {
 		acc[i] += job.noise[i]
 	}
-	return &audio.Buffer{SampleRate: job.dst.SampleRate(), Samples: audio.FromFloat(acc)}
+	return acc
+}
+
+// RenderNaive is Render with the historical per-tap mixing loop instead of
+// the composite-kernel convolution. It exists as a test oracle and A/B
+// benchmark baseline only — it draws from the scene RNG exactly like Render
+// (so two worlds built with equal seeds, one rendered each way, see
+// identical channel realizations) and runs the mixing phase sequentially.
+func (w *World) RenderNaive() (map[*device.Device]*audio.Buffer, error) {
+	jobs, err := w.drawJobs()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[*device.Device]*audio.Buffer, len(w.devices))
+	for di := range jobs {
+		out[jobs[di].dst] = w.mixNaive(&jobs[di])
+	}
+	return out, nil
 }

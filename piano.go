@@ -1,47 +1,3 @@
-// Package piano is a faithful reimplementation of PIANO — the
-// proximity-based user authentication method for voice-powered IoT devices
-// from Gong et al., ICDCS 2017 — together with a complete simulation of the
-// physical substrate the paper's prototype ran on (speakers, microphones,
-// acoustic propagation, ambient noise, Bluetooth).
-//
-// A user carries a vouching device (say, a smartwatch); an authenticating
-// device (say, a smart speaker or phone) grants access iff the acoustic
-// distance between the two — measured by the ACTION protocol with
-// randomized, spoofing-resistant reference signals — is within a
-// user-chosen threshold.
-//
-// Quick start:
-//
-//	dep, err := piano.NewDeployment(piano.DefaultConfig(),
-//	    piano.DeviceSpec{Name: "speaker", X: 0, Y: 0},
-//	    piano.DeviceSpec{Name: "watch", X: 0.8, Y: 0})
-//	...
-//	dec, err := dep.Authenticate()
-//	if dec.Granted { ... }
-//
-// # Serving many users
-//
-// A Deployment is one pairing running one session at a time. Always-on
-// hubs that authenticate many users concurrently use a Service instead: a
-// long-lived server that accepts concurrent Authenticate calls and batches
-// every session's signal-detection work through one bounded worker pool
-// with FFT plans pinned per window length. Detection runs the band-limited
-// scan engine — per-window spectra are computed only over the candidate
-// band Algorithm 2 reads, streamed incrementally between windows when the
-// scan step is below the measured sliding-DFT break-even — and the service
-// prewarms each worker's scan scratch at construction, so steady-state
-// traffic allocates nothing on the scan path. Each session keeps its own
-// seeded RNG stream, so its decision is bit-identical to running the same
-// request through a Deployment — at any concurrency level.
-//
-//	svc, err := piano.NewService(piano.DefaultServiceConfig())
-//	...
-//	defer svc.Close()
-//	dec, err := svc.Authenticate(piano.AuthRequest{
-//	    Auth:  piano.DeviceSpec{Name: "hub", X: 0, Y: 0},
-//	    Vouch: piano.DeviceSpec{Name: "watch", X: 0.8, Y: 0},
-//	    Seed:  42,
-//	})
 package piano
 
 import (
