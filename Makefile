@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-auth bench-detect bench-render bench-service cover docs-check clean
+.PHONY: all build vet test test-race bench bench-smoke bench-auth bench-detect bench-fine bench-render bench-service cover docs-check clean
 
 all: vet build test
 
@@ -44,6 +44,13 @@ bench-service:
 bench-detect:
 	$(GO) test -run '^$$' -bench 'BenchmarkDetectAll' -benchmem -benchtime 5x ./internal/detect/
 	$(GO) test -run '^$$' -bench 'PowerSpectrumInto|PowerSpectrumBandInto|SlidingBandDFT|BandScorer' -benchmem ./internal/dsp/
+
+# The streaming fine scan and zero-copy PCM ingestion: streamed
+# (sliding-DFT fine hops + exact-at-peak re-check, the default-config
+# production path) vs forced all-exact fine scan, plus the int16 ingestion
+# path (BENCH_finescan.json / PERFORMANCE.md).
+bench-fine:
+	$(GO) test -run '^$$' -bench 'BenchmarkDetectAllFine|BenchmarkDetectAllPCM' -benchmem -count=3 -benchtime 5x ./internal/detect/
 
 # The acoustic renderer: per-tap (RenderNaive oracle) vs composite-kernel
 # mixing, interleaved A/B at several tap counts (BENCH_render.json /

@@ -339,16 +339,22 @@ func RunACTIONWith(
 			resVouch, errVouch = ccDetect(recs[vouch].Float(), vouchSigA, vouchSigV)
 		}()
 	} else {
+		// Zero-copy PCM ingestion: each device's recording is scanned as
+		// the int16 PCM it was captured as (audio.Buffer.Samples) — the
+		// engine fuses the widening conversion into its FFT pack stage and
+		// sliding-window feed, so the per-device 4×-sized float64 copy the
+		// session used to make (Buffer.Float) is gone, and results are
+		// bit-identical to scanning the converted recording.
 		go func() {
 			defer wg.Done()
-			resAuth, errAuth = det.DetectAll(recs[auth].Float(), sigA, sigV)
+			resAuth, errAuth = det.DetectAllPCM(recs[auth].Samples, sigA, sigV)
 			if errAuth != nil {
 				errAuth = fmt.Errorf("core: detect on authenticating device: %w", errAuth)
 			}
 		}()
 		go func() {
 			defer wg.Done()
-			resVouch, errVouch = det.DetectAll(recs[vouch].Float(), vouchSigA, vouchSigV)
+			resVouch, errVouch = det.DetectAllPCM(recs[vouch].Samples, vouchSigA, vouchSigV)
 			if errVouch != nil {
 				errVouch = fmt.Errorf("core: detect on vouching device: %w", errVouch)
 			}

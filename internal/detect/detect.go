@@ -234,11 +234,16 @@ type scanWorkspace struct {
 }
 
 // sliding returns the workspace's streaming engine for (band, step),
-// (re)building it only when the requested geometry changes — steady-state
-// service traffic reuses the pinned state allocation-free.
+// (re)building it only when the requested band changes — the hop size is
+// mutable on the engine (dsp.SlidingBandDFT.SetStep), so one pinned state
+// serves both the coarse and the fine hop sequences and steady-state
+// service traffic reuses it allocation-free.
 func (ws *scanWorkspace) sliding(band bandRange, step int) (*dsp.SlidingBandDFT, error) {
 	if s := ws.slide; s != nil {
-		if lo, hi := s.Band(); lo == band.lo && hi == band.hi && s.Step() == step {
+		if lo, hi := s.Band(); lo == band.lo && hi == band.hi {
+			if err := s.SetStep(step); err != nil {
+				return nil, err
+			}
 			return s, nil
 		}
 	}
@@ -253,6 +258,54 @@ func (ws *scanWorkspace) sliding(band bandRange, step int) (*dsp.SlidingBandDFT,
 // scoreBuf wraps a growable score slice so it can round-trip through a
 // sync.Pool without re-boxing.
 type scoreBuf struct{ buf []float64 }
+
+// recSource is the scanned recording in whichever representation the caller
+// holds: float64 samples or raw int16 PCM. Exactly one field is non-nil.
+// The int16→float64 widening is exact and the PCM path fuses it into the
+// FFT pack stage and the sliding-DFT feed (see dsp), so scanning PCM is
+// bit-identical to scanning audio.ToFloat(pcm) — without the 4×-sized float64 copy
+// a session used to pay per device.
+type recSource struct {
+	f   []float64
+	pcm []int16
+}
+
+func (r recSource) len() int {
+	if r.pcm != nil {
+		return len(r.pcm)
+	}
+	return len(r.f)
+}
+
+// bandSpectrumAt computes the exact band-restricted power spectrum of the
+// window starting at i into ws.spec — the single-window primitive both the
+// exact scan mode and the fine scan's at-peak re-check use.
+func (r recSource) bandSpectrumAt(ws *scanWorkspace, i, winLen int, band bandRange) error {
+	if r.pcm != nil {
+		return ws.plan.PowerSpectrumBandIntoPCM(ws.spec, r.pcm[i:i+winLen], ws.scratch, band.lo, band.hi)
+	}
+	return ws.plan.PowerSpectrumBandInto(ws.spec, r.f[i:i+winLen], ws.scratch, band.lo, band.hi)
+}
+
+// reset arms the sliding engine on this recording at the given window start.
+func (r recSource) reset(sd *dsp.SlidingBandDFT, start int) error {
+	if r.pcm != nil {
+		return sd.ResetPCM(r.pcm, start)
+	}
+	return sd.Reset(r.f, start)
+}
+
+// fineDriftMargin is the relative half-width of the streamed-score
+// confidence interval the streaming fine scan uses to choose its exact
+// re-check candidates: window w is re-scored with an exact band-restricted
+// FFT iff score(w) + margin·gross(w) ≥ max_v(score(v) − margin·gross(v)),
+// where gross is the total (unsigned) band power the score read — i.e. iff
+// the window's true score could still be the true maximum. The sliding
+// engine's drift between resyncs is bounded at ≤2e-13 relative
+// (dsp.StreamResyncHops); 1e-9 keeps >5000× headroom above that bound
+// (the contract floor is 1e3×) while in practice re-checking only the peak
+// window plus exact ties.
+const fineDriftMargin = 1e-9
 
 // New builds a Detector.
 func New(cfg Config) (*Detector, error) {
@@ -373,7 +426,61 @@ func (s *sigSpec) normPower(spectrum []float64, theta int) float64 {
 	return sumChosen - sumForeign
 }
 
-// NormPower exposes Algorithm 2 for a single window (tests, ablations).
+// normPowerStreamed is normPower over a possibly drifted (streamed)
+// spectrum. Each α/β sanity check classifies its band power into one of
+// three zones relative to fineDriftMargin:
+//
+//   - certain fail — outside the threshold by more than drift can explain
+//     (p ≤ α·R_f·(1−m), or p ≥ β·(1+m)): the exact check fails too, so the
+//     (−Inf, 0) return is authoritative and the window is never re-checked.
+//   - certain pass — inside the threshold by more than the margin: the
+//     exact check passes, and the streamed score lies within
+//     fineDriftMargin·gross of the exact score (gross = total unsigned
+//     band power read).
+//   - ambiguous — straddling a threshold within the margin: the exact
+//     check could go either way, so the window's exact score could be
+//     anything from −Inf to its drift interval. Such a window returns
+//     gross = +Inf, which makes its confidence interval (−Inf, +Inf): it
+//     never tightens the re-check bound but is always re-checked exactly.
+func (s *sigSpec) normPowerStreamed(spectrum []float64, theta int) (score, gross float64) {
+	const m = fineDriftMargin
+	ambiguous := false
+	var sumChosen float64
+	for _, bin := range s.chosenBins {
+		p := dsp.BandPower(spectrum, bin, theta)
+		if p <= s.alphaFloor*(1-m) {
+			return math.Inf(-1), 0
+		}
+		if p <= s.alphaFloor*(1+m) {
+			ambiguous = true
+		}
+		sumChosen += p
+	}
+	var sumForeign float64
+	for _, bin := range s.foreignBins {
+		p := dsp.BandPower(spectrum, bin, theta)
+		if !s.skipBeta {
+			if p >= s.betaCeiling*(1+m) {
+				return math.Inf(-1), 0
+			}
+			if p >= s.betaCeiling*(1-m) {
+				ambiguous = true
+			}
+		}
+		sumForeign += p
+	}
+	if ambiguous {
+		return sumChosen - sumForeign, math.Inf(1)
+	}
+	return sumChosen - sumForeign, sumChosen + sumForeign
+}
+
+// NormPower exposes Algorithm 2 for a single window (tests, ablations). It
+// scores through the same pooled planned band-restricted spectrum as the
+// scan engine — so a NormPower value is bit-identical to the score DetectAll
+// computes for that window — and agrees with the legacy one-shot
+// dsp.PowerSpectrum path to 1e-9 relative (the planned FFT's fused radix-2²
+// schedule rounds a few ULPs differently; pinned by the parity test).
 func (d *Detector) NormPower(window []float64, sig *sigref.Signal) (float64, error) {
 	if sig == nil {
 		return 0, errors.New("detect: nil signal")
@@ -381,11 +488,19 @@ func (d *Detector) NormPower(window []float64, sig *sigref.Signal) (float64, err
 	if len(window) != sig.Params().Length {
 		return 0, fmt.Errorf("detect: window length %d != signal length %d", len(window), sig.Params().Length)
 	}
-	spec, err := dsp.PowerSpectrum(window)
+	band, err := d.cfg.scanBand(sig.Params())
 	if err != nil {
 		return 0, err
 	}
-	return d.newSigSpec(sig).normPower(spec, d.cfg.Theta), nil
+	ws, err := d.getWorkspace(len(window))
+	if err != nil {
+		return 0, err
+	}
+	defer d.wsPool.Put(ws)
+	if err := ws.plan.PowerSpectrumBandInto(ws.spec, window, ws.scratch, band.lo, band.hi); err != nil {
+		return 0, err
+	}
+	return d.newSigSpec(sig).normPower(ws.spec, d.cfg.Theta), nil
 }
 
 // Detect runs Algorithm 1 for a single reference signal.
@@ -404,14 +519,32 @@ func (d *Detector) Detect(recording []float64, sig *sigref.Signal) (Result, erro
 //
 // Window spectra run through the pooled zero-alloc band-limited engine —
 // exact band-restricted FFTs (dsp.FFTPlan.PowerSpectrumBandInto) or, when
-// the coarse step sits below the dsp.StreamingWins break-even, incremental
+// the scan's hop sits below the dsp.StreamingWins break-even, incremental
 // sliding-DFT updates (dsp.SlidingBandDFT) — computed only over the band
 // Algorithm 2 reads (see Config.CandidateBandLo/Hi; an explicit band that
 // is invalid or fails to cover the signals' footprint is rejected here).
 // Windows are scored across a bounded worker pool claiming fixed hop
 // blocks, and the reduction is performed in window order, so results are
-// deterministic for a given recording regardless of GOMAXPROCS.
+// deterministic for a given recording regardless of GOMAXPROCS. The fine
+// scan streams whenever its hop is below the break-even (the paper's
+// default fine step of 10 is) and re-scores every near-peak window with an
+// exact FFT, so reported locations and powers are bit-identical to an
+// all-exact fine scan by construction (see the fine-scan section below).
 func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Result, error) {
+	return d.detectAll(recSource{f: recording}, sigs)
+}
+
+// DetectAllPCM is DetectAll over a raw int16 PCM recording — the
+// representation sessions actually record (audio.Buffer.Samples). The
+// widening conversion is fused into the engine's FFT pack stage and
+// sliding-window feed, so no float64 copy of the recording is ever
+// materialized and results are bit-identical to
+// DetectAll(audio.ToFloat(pcm), ...).
+func (d *Detector) DetectAllPCM(pcm []int16, sigs ...*sigref.Signal) ([]Result, error) {
+	return d.detectAll(recSource{pcm: pcm}, sigs)
+}
+
+func (d *Detector) detectAll(rec recSource, sigs []*sigref.Signal) ([]Result, error) {
 	if len(sigs) == 0 {
 		return nil, errors.New("detect: no signals given")
 	}
@@ -424,8 +557,8 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 		}
 	}
 	winLen := sigs[0].Params().Length
-	if len(recording) < winLen {
-		return nil, fmt.Errorf("detect: recording %d shorter than window %d", len(recording), winLen)
+	if rec.len() < winLen {
+		return nil, fmt.Errorf("detect: recording %d shorter than window %d", rec.len(), winLen)
 	}
 	band, err := d.cfg.scanBand(sigs[0].Params())
 	if err != nil {
@@ -452,7 +585,7 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 	// identical to running this engine's scan sequentially. (It is not
 	// bit-identical to the pre-plan implementation: the planned FFT rounds
 	// a few ULPs differently; see dsp.FFTPlan.)
-	limit := len(recording) - winLen
+	limit := rec.len() - winLen
 	coarseCount := limit/d.cfg.CoarseStep + 1
 	sb := d.getScores(coarseCount * len(specs))
 	defer d.scorePool.Put(sb)
@@ -464,7 +597,7 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 	// exact per-window FFTs — bit-identical to the pre-streaming engine.
 	stream := !d.disableStream && dsp.StreamingWins(winLen, band.hi-band.lo, d.cfg.CoarseStep)
 	scores := sb.buf[:coarseCount*len(specs)]
-	if err := d.scanWindows(recording, winLen, 0, d.cfg.CoarseStep, coarseCount, band, stream, specs, scores); err != nil {
+	if err := d.scanWindows(rec, winLen, 0, d.cfg.CoarseStep, coarseCount, band, stream, specs, scores, nil); err != nil {
 		return nil, err
 	}
 	for w := 0; w < coarseCount; w++ {
@@ -477,6 +610,20 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 		}
 	}
 	scanned := coarseCount
+
+	// The fine scan streams whenever its hop sits below the sliding-DFT
+	// break-even — the paper's default fine step of 10 does (break-even is
+	// hop ≲15 at the paper's 909-bin band) — without giving up the fine
+	// scan's exactness contract: streamed scores pick RE-CHECK CANDIDATES
+	// only. Every window whose streamed score could still be the true
+	// maximum (see fineDriftMargin) is re-scored with one exact
+	// band-restricted FFT, in window order, and the reported location and
+	// power come from those exact scores alone. The exact fine argmax (and
+	// any exact tie for it) always lands inside the candidate interval, so
+	// the result is bit-identical to an all-exact fine scan by
+	// construction; the per-window cost drops from one O(N·log N) FFT to
+	// O(bins·step) rotate-accumulate updates.
+	fineStream := !d.disableStream && dsp.StreamingWins(winLen, band.hi-band.lo, d.cfg.FineStep)
 
 	// Fine scan per signal around its coarse argmax.
 	for s, ss := range specs {
@@ -498,24 +645,39 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 		}
 		fineCount := (hi-lo)/d.cfg.FineStep + 1
 		one := specs[s : s+1]
-		fineScores := sb.buf
-		if cap(fineScores) < fineCount {
-			sb.buf = make([]float64, fineCount)
-			fineScores = sb.buf
+		need := fineCount
+		if fineStream {
+			need = 2 * fineCount // scores + per-window gross band power
 		}
-		fineScores = fineScores[:fineCount]
-		// The fine scan localizes the argmax: it keeps exact per-window
-		// FFTs (band-restricted unpack only) so fine scores never carry
-		// sliding-DFT drift into the reported location and power.
-		if err := d.scanWindows(recording, winLen, lo, d.cfg.FineStep, fineCount, band, false, one, fineScores); err != nil {
-			return nil, err
+		if cap(sb.buf) < need {
+			sb.buf = make([]float64, need)
 		}
-		results[s].WindowsScanned += fineCount
-		for w := 0; w < fineCount; w++ {
-			if p := fineScores[w]; p > bestPow[s] {
-				bestPow[s], bestIdx[s] = p, lo+w*d.cfg.FineStep
+		fineScores := sb.buf[:fineCount]
+		if !fineStream {
+			// Exact per-window FFTs (band-restricted unpack only): fine
+			// steps above the break-even don't benefit from streaming.
+			if err := d.scanWindows(rec, winLen, lo, d.cfg.FineStep, fineCount, band, false, one, fineScores, nil); err != nil {
+				return nil, err
+			}
+			for w := 0; w < fineCount; w++ {
+				if p := fineScores[w]; p > bestPow[s] {
+					bestPow[s], bestIdx[s] = p, lo+w*d.cfg.FineStep
+				}
+			}
+		} else {
+			gross := sb.buf[fineCount : 2*fineCount]
+			if err := d.scanWindows(rec, winLen, lo, d.cfg.FineStep, fineCount, band, true, one, fineScores, gross); err != nil {
+				return nil, err
+			}
+			if err := d.rescoreFinePeaks(rec, winLen, lo, fineCount, band, ss, fineScores, gross, &bestPow[s], &bestIdx[s]); err != nil {
+				return nil, err
 			}
 		}
+		// The streamed evaluations stand in one-for-one for the exact
+		// evaluations of the historical all-exact fine scan (the handful of
+		// at-peak re-checks ride along uncounted), so the modeled per-window
+		// cost accounting is unchanged.
+		results[s].WindowsScanned += fineCount
 		results[s].Power = bestPow[s]
 		// Absent-signal check (Algorithm 1 lines 11–14 with the
 		// prototype's ε threshold): deny when the best match is weaker
@@ -530,6 +692,70 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 	return results, nil
 }
 
+// rescoreFinePeaks is the exact-at-peak verification pass of the streaming
+// fine scan. scores/gross hold the streamed (drift-relaxed) score and total
+// unsigned band power of each fine window; every window whose exact score
+// could still be the true fine maximum — streamed score within the
+// fineDriftMargin confidence interval of the streamed maximum — is
+// re-scored with one exact band-restricted FFT, in window order, against
+// the strict Algorithm 2 checks, updating (*bestPow, *bestIdx) exactly as
+// the all-exact fine reduction would.
+//
+// Why this is bit-identical to scanning every fine window exactly: every
+// window's exact score s(v) lies inside its streamed confidence interval
+// [s̃(v) − margin·gross(v), s̃(v) + margin·gross(v)] — for certain-pass
+// windows by the drift bound, for certain-fail windows because both are
+// −Inf, and for threshold-ambiguous windows because gross = +Inf makes the
+// interval (−Inf, +Inf) (see normPowerStreamed's three zones). The exact
+// argmax w* therefore satisfies s̃(w*) + margin·gross(w*) ≥ s(w*) ≥ s(v) ≥
+// s̃(v) − margin·gross(v) for every v — i.e. w* (and every exact tie for
+// the maximum) is always a re-check candidate. Candidates are re-scored in
+// ascending window order with the same strictly-greater update rule, so
+// the earliest window attaining the exact maximum wins, exactly as in the
+// all-exact scan; skipped windows have exact scores strictly below the
+// maximum and could never have changed the outcome. A streamed −Inf is
+// authoritative, so certain-fail windows are never re-checked and an
+// all-certain-fail fine scan re-checks nothing, again matching the
+// all-exact scan.
+func (d *Detector) rescoreFinePeaks(rec recSource, winLen, lo, fineCount int, band bandRange, ss *sigSpec, scores, gross []float64, bestPow *float64, bestIdx *int) error {
+	// maxLower is the best exact score certainly attained (the largest
+	// interval lower bound); ambiguous windows contribute −Inf to it but
+	// still force their own re-check via a +Inf upper bound.
+	maxLower := math.Inf(-1)
+	anyFinite := false
+	for w := 0; w < fineCount; w++ {
+		if !math.IsInf(scores[w], -1) {
+			anyFinite = true
+		}
+		if l := scores[w] - fineDriftMargin*gross[w]; l > maxLower {
+			maxLower = l
+		}
+	}
+	if !anyFinite {
+		// Every fine window certainly failed the sanity checks, so every
+		// exact score is −Inf too: nothing can improve on the coarse best.
+		return nil
+	}
+	ws, err := d.getWorkspace(winLen)
+	if err != nil {
+		return err
+	}
+	defer d.wsPool.Put(ws)
+	for w := 0; w < fineCount; w++ {
+		if math.IsInf(scores[w], -1) || scores[w]+fineDriftMargin*gross[w] < maxLower {
+			continue
+		}
+		i := lo + w*d.cfg.FineStep
+		if err := rec.bandSpectrumAt(ws, i, winLen, band); err != nil {
+			return err
+		}
+		if p := ss.normPower(ws.spec, d.cfg.Theta); p > *bestPow {
+			*bestPow, *bestIdx = p, i
+		}
+	}
+	return nil
+}
+
 // fftScanBlock is the contiguous hop-range size workers claim in the exact
 // per-window-FFT mode. Range claiming exists for the streaming mode (the
 // incremental state must stay worker-local); in FFT mode every window is
@@ -541,7 +767,7 @@ const fftScanBlock = 4
 // shared verbatim between the sequential fast path and pool workers — the
 // block grid, not the worker schedule, determines every score.
 type scanJob struct {
-	rec    []float64
+	rec    recSource
 	winLen int
 	lo     int
 	step   int
@@ -550,8 +776,13 @@ type scanJob struct {
 	stream bool
 	specs  []*sigSpec
 	scores []float64
-	theta  int
-	block  int
+	// gross, when non-nil, switches scoring to the drift-relaxed streamed
+	// variant (normPowerStreamed) and records each window's total unsigned
+	// band power alongside its score — the streaming fine scan's re-check
+	// candidate input. Same layout as scores.
+	gross []float64
+	theta int
+	block int
 }
 
 // runBlock scores the contiguous hop range of block b with ws (and its
@@ -564,7 +795,7 @@ func (j *scanJob) runBlock(ws *scanWorkspace, sd *dsp.SlidingBandDFT, b int) err
 		wEnd = j.count
 	}
 	if j.stream {
-		if err := sd.Reset(j.rec, j.lo+w0*j.step); err != nil {
+		if err := j.rec.reset(sd, j.lo+w0*j.step); err != nil {
 			return err
 		}
 		for w := w0; w < wEnd; w++ {
@@ -581,8 +812,7 @@ func (j *scanJob) runBlock(ws *scanWorkspace, sd *dsp.SlidingBandDFT, b int) err
 		return nil
 	}
 	for w := w0; w < wEnd; w++ {
-		i := j.lo + w*j.step
-		if err := ws.plan.PowerSpectrumBandInto(ws.spec, j.rec[i:i+j.winLen], ws.scratch, j.band.lo, j.band.hi); err != nil {
+		if err := j.rec.bandSpectrumAt(ws, j.lo+w*j.step, j.winLen, j.band); err != nil {
 			return err
 		}
 		j.score(w, ws.spec)
@@ -591,16 +821,26 @@ func (j *scanJob) runBlock(ws *scanWorkspace, sd *dsp.SlidingBandDFT, b int) err
 }
 
 func (j *scanJob) score(w int, spec []float64) {
+	if j.gross != nil {
+		for s, ss := range j.specs {
+			sc, g := ss.normPowerStreamed(spec, j.theta)
+			j.scores[w*len(j.specs)+s] = sc
+			j.gross[w*len(j.specs)+s] = g
+		}
+		return
+	}
 	for s, ss := range j.specs {
 		j.scores[w*len(j.specs)+s] = ss.normPower(spec, j.theta)
 	}
 }
 
 // scanWindows scores the arithmetic window sequence lo, lo+step, … (count
-// windows) against every spec, writing scores[w*len(specs)+s]. Workers —
-// idle goroutines borrowed from the attached Pool when one is set,
-// transient goroutines (≤ GOMAXPROCS) otherwise — claim contiguous blocks
-// of hops off a shared atomic counter, each with one pooled workspace.
+// windows) against every spec, writing scores[w*len(specs)+s] (and, when
+// gross is non-nil, the drift-relaxed streamed scores plus per-window gross
+// band power — see scanJob.gross). Workers — idle goroutines borrowed from
+// the attached Pool when one is set, transient goroutines (≤ GOMAXPROCS)
+// otherwise — claim contiguous blocks of hops off a shared atomic counter,
+// each with one pooled workspace.
 //
 // In FFT mode each window gets an exact band-restricted power spectrum
 // (dsp.FFTPlan.PowerSpectrumBandInto), so scores are independent of
@@ -610,20 +850,20 @@ func (j *scanJob) score(w int, spec []float64) {
 // (dsp.StreamResyncHops), so which worker computes a block never changes
 // its scores and results stay bit-deterministic at any GOMAXPROCS. The
 // caller's in-order reduction therefore always matches a sequential scan.
-func (d *Detector) scanWindows(recording []float64, winLen, lo, step, count int, band bandRange, stream bool, specs []*sigSpec, scores []float64) error {
+func (d *Detector) scanWindows(rec recSource, winLen, lo, step, count int, band bandRange, stream bool, specs []*sigSpec, scores, gross []float64) error {
 	// Bounds guard: the last window is recording[lo+(count-1)*step :
 	// lo+(count-1)*step+winLen]. A recording too short for the requested
 	// sequence used to slice out of range and panic; refuse it instead.
 	if lo < 0 || step < 1 || count < 1 {
 		return fmt.Errorf("detect: invalid window sequence lo=%d step=%d count=%d", lo, step, count)
 	}
-	if last := lo + (count-1)*step; last > len(recording)-winLen {
+	if last := lo + (count-1)*step; last > rec.len()-winLen {
 		return fmt.Errorf("detect: recording of %d samples too short for window [%d:%d] (lo=%d step=%d count=%d winLen=%d)",
-			len(recording), last, last+winLen, lo, step, count, winLen)
+			rec.len(), last, last+winLen, lo, step, count, winLen)
 	}
 
 	job := scanJob{
-		rec:    recording,
+		rec:    rec,
 		winLen: winLen,
 		lo:     lo,
 		step:   step,
@@ -632,6 +872,7 @@ func (d *Detector) scanWindows(recording []float64, winLen, lo, step, count int,
 		stream: stream,
 		specs:  specs,
 		scores: scores,
+		gross:  gross,
 		theta:  d.cfg.Theta,
 		block:  fftScanBlock,
 	}
@@ -761,7 +1002,12 @@ func (d *Detector) Prewarm(p sigref.Params, workers int) error {
 	if workers < 1 {
 		workers = 1
 	}
-	stream := dsp.StreamingWins(p.Length, band.hi-band.lo, d.cfg.CoarseStep)
+	// One sliding engine per workspace covers every hop size that streams
+	// (the hop is mutable on the engine); the paper's default fine step of
+	// 10 streams even though its coarse step of 1000 does not.
+	bins := band.hi - band.lo
+	stream := dsp.StreamingWins(p.Length, bins, d.cfg.CoarseStep) ||
+		dsp.StreamingWins(p.Length, bins, d.cfg.FineStep)
 	wss := make([]*scanWorkspace, 0, workers)
 	for i := 0; i < workers; i++ {
 		ws, err := d.getWorkspace(p.Length)
@@ -769,7 +1015,7 @@ func (d *Detector) Prewarm(p sigref.Params, workers int) error {
 			return err
 		}
 		if stream {
-			if _, err := ws.sliding(band, d.cfg.CoarseStep); err != nil {
+			if _, err := ws.sliding(band, d.cfg.FineStep); err != nil {
 				return err
 			}
 		}

@@ -12,16 +12,23 @@
 // Key types: Config carries the algorithm parameters plus the candidate
 // band (derived by CandidateBand or pinned via CandidateBandLo/Hi, both
 // validated); Detector owns pooled per-worker scan workspaces and runs
-// DetectAll, the two-signal scan; Pool is the bounded worker set a batching
-// service shares across sessions, with cooperative idle-worker recruitment.
-// Scans compute per-window spectra only over the candidate band and switch
-// to the streaming sliding-DFT engine below the measured dsp.StreamingWins
-// break-even.
+// DetectAll, the two-signal scan, and DetectAllPCM, its zero-copy raw
+// int16 form (the widening conversion is fused into the spectral engine,
+// bit-identically); Pool is the bounded worker set a batching service
+// shares across sessions, with cooperative idle-worker recruitment. Scans
+// compute per-window spectra only over the candidate band and switch to
+// the streaming sliding-DFT engine below the measured dsp.StreamingWins
+// break-even — the default fine step does, so the fine scan streams its
+// hops and then re-scores every window within a drift margin of the
+// streamed maximum with an exact band-restricted FFT, reporting locations
+// and powers from exact scores only (bit-identical to an all-exact fine
+// scan by construction).
 //
 // Invariants: scans are bit-deterministic at any GOMAXPROCS and pool size —
-// coarse-scan workers claim contiguous hop blocks aligned to the streaming
-// resync grid, and window scores reduce in window order regardless of which
-// worker computed them. Scan workspaces are recycled across sessions and
-// allocate nothing in steady state (Prewarm builds them up front); a
-// truncated recording errors instead of panicking.
+// streaming-scan workers claim contiguous hop blocks aligned to the resync
+// grid, and window scores (and the fine scan's exact re-checks) reduce in
+// window order regardless of which worker computed them. Scan workspaces
+// are recycled across sessions and allocate nothing in steady state
+// (Prewarm builds them up front); a truncated recording errors instead of
+// panicking.
 package detect

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"github.com/acoustic-auth/piano/internal/audio"
 	"github.com/acoustic-auth/piano/internal/sigref"
 )
 
@@ -122,6 +123,60 @@ func BenchmarkDetectAll(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := det.DetectAll(rec, s1, s2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res[0].Found || !res[1].Found {
+			b.Fatal("planted signals not found")
+		}
+	}
+}
+
+// BenchmarkDetectAllFine isolates the streaming fine scan on the paper's
+// default configuration: "streamed" runs the sliding-DFT fine hops with
+// exact-at-peak re-checks (the production path; the default coarse step
+// never streams either way), "exact" forces the historical all-exact fine
+// scan. The gap is the tentpole win of the fine-scan streaming work
+// (BENCH_finescan.json / `make bench-fine`); results are bit-identical by
+// construction (TestFineScanStreamedBitIdentical).
+func BenchmarkDetectAllFine(b *testing.B) {
+	rec, s1, s2 := benchRecording(b, 24, 52920)
+	run := func(b *testing.B, disable bool) {
+		det, err := New(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		det.disableStream = disable
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := det.DetectAll(rec, s1, s2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res[0].Found || !res[1].Found {
+				b.Fatal("planted signals not found")
+			}
+		}
+	}
+	b.Run("streamed", func(b *testing.B) { run(b, false) })
+	b.Run("exact", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkDetectAllPCM measures the zero-copy int16 ingestion path on the
+// session-shaped recording: identical scan work to BenchmarkDetectAll, no
+// recording-sized conversion copy (compare allocs/op).
+func BenchmarkDetectAllPCM(b *testing.B) {
+	recF, s1, s2 := benchRecording(b, 24, 52920)
+	rec := audio.FromFloat(recF)
+	det, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := det.DetectAllPCM(rec, s1, s2)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,11 +9,13 @@
 // Key types: FFTPlan precomputes twiddle/bit-reversal tables for one window
 // length and transforms real input with zero allocations into caller
 // scratch (PowerSpectrumInto, and PowerSpectrumBandInto which unpacks only
-// the candidate band); PlanSet pins one plan per window length for
-// lock-free hot-path lookup; SlidingBandDFT advances band spectra
-// incrementally per hop with periodic full-FFT resync, used below the
-// measured StreamingWins break-even; BandScorer picks Goertzel vs FFT by
-// the measured crossover; SparseFIR folds many fractional-delay taps
+// the candidate band; the *PCM variants ingest raw int16 with the exact
+// widening conversion fused into the pack stage); PlanSet pins one plan
+// per window length for lock-free hot-path lookup; SlidingBandDFT advances
+// band spectra incrementally per hop with periodic full-FFT resync, used
+// below the measured StreamingWins break-even, feeding on float64 or raw
+// PCM with a mutable hop size (SetStep); BandScorer picks Goertzel vs FFT
+// by the measured crossover; SparseFIR folds many fractional-delay taps
 // (FIRTap) into a few dense coefficient segments using the canonical
 // Hann-windowed sinc kernel (SincDelayKernel — the single source of truth
 // shared with audio's per-tap mixer).

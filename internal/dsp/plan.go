@@ -225,6 +225,14 @@ func (p *FFTPlan) NewScratch() []complex128 {
 	return make([]complex128, p.half)
 }
 
+// realSample constrains the sample representations the packed real-input
+// transforms ingest: float64 samples, or raw int16 PCM whose widening
+// conversion is fused into the pack stage. float64(int16) is exact for every
+// representable value, so the PCM instantiations are bit-identical to
+// converting the recording up front with audio.ToFloat — minus the 4×-sized
+// copy and its allocation.
+type realSample interface{ ~float64 | ~int16 }
+
 // Forward computes the in-place unnormalized FFT of x (len == N) using the
 // precomputed tables. It matches FFT to within a few ULPs (the fused
 // radix-2² schedule rounds differently), i.e. well inside 1e-9 relative.
@@ -263,18 +271,7 @@ func (p *FFTPlan) Inverse(x []complex128) error {
 // Results match PowerSpectrum to within a few ULPs (callers needing strict
 // bit-equality with the legacy path should keep using PowerSpectrum).
 func (p *FFTPlan) PowerSpectrumInto(dst, window []float64, scratch []complex128) error {
-	if len(window) != p.n {
-		return fmt.Errorf("dsp: power spectrum plan length %d, window %d", p.n, len(window))
-	}
-	if len(dst) != p.n {
-		return fmt.Errorf("dsp: power spectrum dst length %d, want %d", len(dst), p.n)
-	}
-	if len(scratch) < p.half {
-		return fmt.Errorf("dsp: power spectrum scratch length %d, want %d", len(scratch), p.half)
-	}
-	p.packedHalfTransform(window, scratch)
-	p.unpackPowerBand(dst, scratch, 0, p.half+1)
-	return nil
+	return powerSpectrumBandInto(p, dst, window, scratch, 0, p.half+1)
 }
 
 // PowerSpectrumBandInto is PowerSpectrumInto restricted to the canonical
@@ -289,6 +286,21 @@ func (p *FFTPlan) PowerSpectrumInto(dst, window []float64, scratch []complex128)
 // written bins are bit-identical to a full PowerSpectrumInto call — the
 // band loop runs exactly the same arithmetic on the same packed transform.
 func (p *FFTPlan) PowerSpectrumBandInto(dst, window []float64, scratch []complex128, lo, hi int) error {
+	return powerSpectrumBandInto(p, dst, window, scratch, lo, hi)
+}
+
+// PowerSpectrumBandIntoPCM is PowerSpectrumBandInto over raw int16 PCM: the
+// int16→float64 widening is fused into the transform's pack stage, so the
+// caller never materializes a float copy of the window. Written bins are
+// bit-identical to converting the window with audio.ToFloat first (the
+// conversion is exact).
+func (p *FFTPlan) PowerSpectrumBandIntoPCM(dst []float64, window []int16, scratch []complex128, lo, hi int) error {
+	return powerSpectrumBandInto(p, dst, window, scratch, lo, hi)
+}
+
+// powerSpectrumBandInto is the shared generic core of the power-spectrum
+// entry points, instantiated per sample representation (see realSample).
+func powerSpectrumBandInto[T realSample](p *FFTPlan, dst []float64, window []T, scratch []complex128, lo, hi int) error {
 	if len(window) != p.n {
 		return fmt.Errorf("dsp: power spectrum plan length %d, window %d", p.n, len(window))
 	}
@@ -301,7 +313,7 @@ func (p *FFTPlan) PowerSpectrumBandInto(dst, window []float64, scratch []complex
 	if lo < 0 || hi <= lo || hi > p.half+1 {
 		return fmt.Errorf("dsp: power spectrum band [%d, %d) outside [0, %d]", lo, hi, p.half+1)
 	}
-	p.packedHalfTransform(window, scratch)
+	packedHalfTransform(p, window, scratch)
 	p.unpackPowerBand(dst, scratch, lo, hi)
 	return nil
 }
@@ -315,21 +327,23 @@ func (p *FFTPlan) PowerSpectrumBandInto(dst, window []float64, scratch []complex
 // involution) and, when the stage count is odd, with the first plain
 // radix-2 stage — one pass over the data instead of three. The arithmetic
 // per output is unchanged, so results are bit-identical to pack + the
-// generic transform.
-func (p *FFTPlan) packedHalfTransform(window []float64, scratch []complex128) {
+// generic transform. Generic over the sample representation: the int16
+// instantiation additionally fuses the PCM widening conversion into the
+// same pass (float64(int16) is exact, so it changes no bits either).
+func packedHalfTransform[T realSample](p *FFTPlan, window []T, scratch []complex128) {
 	h := p.half
 	z := scratch[:h]
 	t := &p.halfT
 	if h == 1 {
-		z[0] = complex(window[0], window[1])
+		z[0] = complex(float64(window[0]), float64(window[1]))
 		return
 	}
 	if t.stages()%2 == 1 {
 		for s := 0; s+1 < h; s += 2 {
 			ia := 2 * int(t.bitrev[s])
 			ib := 2 * int(t.bitrev[s+1])
-			a := complex(window[ia], window[ia+1])
-			b := complex(window[ib], window[ib+1])
+			a := complex(float64(window[ia]), float64(window[ia+1]))
+			b := complex(float64(window[ib]), float64(window[ib+1]))
 			z[s], z[s+1] = a+b, a-b
 		}
 		t.pairStages(z, 2, false)
@@ -337,7 +351,7 @@ func (p *FFTPlan) packedHalfTransform(window []float64, scratch []complex128) {
 	}
 	for k := 0; k < h; k++ {
 		i := 2 * int(t.bitrev[k])
-		z[k] = complex(window[i], window[i+1])
+		z[k] = complex(float64(window[i]), float64(window[i+1]))
 	}
 	t.pairStages(z, 1, false)
 }
@@ -400,6 +414,20 @@ func (p *FFTPlan) unpackPowerBand(dst []float64, scratch []complex128, lo, hi in
 // This is the resynchronization primitive of SlidingBandDFT; power follows
 // as (re²+im²)·(2/N)², matching PowerSpectrum's normalization exactly.
 func (p *FFTPlan) BandSpectrumInto(re, im, window []float64, scratch []complex128, lo, hi int) error {
+	return bandSpectrumInto(p, re, im, window, scratch, lo, hi)
+}
+
+// BandSpectrumIntoPCM is BandSpectrumInto over raw int16 PCM with the
+// widening conversion fused into the pack stage (see
+// PowerSpectrumBandIntoPCM); written values are bit-identical to converting
+// the window to float64 first.
+func (p *FFTPlan) BandSpectrumIntoPCM(re, im []float64, window []int16, scratch []complex128, lo, hi int) error {
+	return bandSpectrumInto(p, re, im, window, scratch, lo, hi)
+}
+
+// bandSpectrumInto is the shared generic core of the band-spectrum entry
+// points, instantiated per sample representation (see realSample).
+func bandSpectrumInto[T realSample](p *FFTPlan, re, im []float64, window []T, scratch []complex128, lo, hi int) error {
 	if len(window) != p.n {
 		return fmt.Errorf("dsp: band spectrum plan length %d, window %d", p.n, len(window))
 	}
@@ -412,7 +440,7 @@ func (p *FFTPlan) BandSpectrumInto(re, im, window []float64, scratch []complex12
 	if len(scratch) < p.half {
 		return fmt.Errorf("dsp: band spectrum scratch length %d, want %d", len(scratch), p.half)
 	}
-	p.packedHalfTransform(window, scratch)
+	packedHalfTransform(p, window, scratch)
 	h := p.half
 	z := scratch[:h]
 	re0, im0 := real(z[0]), imag(z[0])

@@ -70,6 +70,11 @@ func StreamingWins(n, bins, step int) bool {
 // recomputes the band exactly via the plan's packed FFT, so powers read
 // right after Reset are bit-identical to PowerSpectrumBandInto.
 //
+// The engine slides over either representation of a recording: float64
+// samples (Reset) or raw int16 PCM (ResetPCM), with the widening conversion
+// fused into the per-sample feed — PCM scans are bit-identical to scanning
+// the converted recording, without the copy.
+//
 // A SlidingBandDFT owns its state and is NOT safe for concurrent use; build
 // one per worker. Construction is cheap once the plan's rotation table for
 // the band exists (first construction per (plan, band) builds and caches
@@ -82,8 +87,11 @@ type SlidingBandDFT struct {
 	re, im  []float64
 	scratch []complex128
 
-	rec []float64
-	pos int // current window start; -1 before the first Reset
+	// Exactly one of rec/recPCM is non-nil between a Reset and the next
+	// Release: the recording in whichever representation the caller holds.
+	rec    []float64
+	recPCM []int16
+	pos    int // current window start; -1 before the first Reset
 }
 
 // NewSlidingBandDFT builds a sliding engine on plan for canonical bins
@@ -117,6 +125,18 @@ func (s *SlidingBandDFT) Band() (lo, hi int) { return s.lo, s.hi }
 // Step returns the hop size in samples.
 func (s *SlidingBandDFT) Step() int { return s.step }
 
+// SetStep changes the hop size for subsequent Advance calls. The per-bin
+// state and the cached rotation table depend only on the band, not the hop,
+// so one pooled engine can serve both the coarse and the fine hop sequences
+// of a scan without reallocating (the detector's workspaces rely on this).
+func (s *SlidingBandDFT) SetStep(step int) error {
+	if step < 1 {
+		return fmt.Errorf("dsp: sliding band dft step %d must be ≥ 1", step)
+	}
+	s.step = step
+	return nil
+}
+
 // Pos returns the current window start, or -1 before the first Reset.
 func (s *SlidingBandDFT) Pos() int { return s.pos }
 
@@ -125,7 +145,16 @@ func (s *SlidingBandDFT) Pos() int { return s.pos }
 // it; Advance/PowersInto before that report the un-Reset state.
 func (s *SlidingBandDFT) Release() {
 	s.rec = nil
+	s.recPCM = nil
 	s.pos = -1
+}
+
+// recLen returns the length of whichever recording representation is armed.
+func (s *SlidingBandDFT) recLen() int {
+	if s.recPCM != nil {
+		return len(s.recPCM)
+	}
+	return len(s.rec)
 }
 
 // Reset points the engine at rec[start : start+N] and computes the band
@@ -139,6 +168,26 @@ func (s *SlidingBandDFT) Reset(rec []float64, start int) error {
 		return err
 	}
 	s.rec = rec
+	s.recPCM = nil
+	s.pos = start
+	return nil
+}
+
+// ResetPCM is Reset over raw int16 PCM: the resynchronizing FFT fuses the
+// widening conversion into its pack stage (dsp.BandSpectrumIntoPCM), and
+// subsequent Advance calls convert each slid sample on the fly, so the
+// stream is bit-identical to Reset over the converted recording with no
+// float64 copy anywhere.
+func (s *SlidingBandDFT) ResetPCM(rec []int16, start int) error {
+	n := s.plan.n
+	if start < 0 || start+n > len(rec) {
+		return fmt.Errorf("dsp: sliding band dft window [%d, %d) outside recording of %d", start, start+n, len(rec))
+	}
+	if err := s.plan.BandSpectrumIntoPCM(s.re, s.im, rec[start:start+n], s.scratch, s.lo, s.hi); err != nil {
+		return err
+	}
+	s.rec = nil
+	s.recPCM = rec
 	s.pos = start
 	return nil
 }
@@ -149,15 +198,27 @@ func (s *SlidingBandDFT) Advance() error {
 	if s.pos < 0 {
 		return fmt.Errorf("dsp: sliding band dft advanced before Reset")
 	}
-	n := s.plan.n
-	if s.pos+s.step+n > len(s.rec) {
-		return fmt.Errorf("dsp: sliding band dft window [%d, %d) outside recording of %d", s.pos+s.step, s.pos+s.step+n, len(s.rec))
+	if s.pos+s.step+s.plan.n > s.recLen() {
+		return fmt.Errorf("dsp: sliding band dft window [%d, %d) outside recording of %d", s.pos+s.step, s.pos+s.step+s.plan.n, s.recLen())
 	}
+	if s.recPCM != nil {
+		advanceOver(s, s.recPCM)
+	} else {
+		advanceOver(s, s.rec)
+	}
+	s.pos += s.step
+	return nil
+}
+
+// advanceOver is Advance's rotate-accumulate hot loop, generic over the
+// recording representation (the int16 instantiation widens each slid sample
+// exactly, see realSample). It does not move s.pos; Advance does.
+func advanceOver[T realSample](s *SlidingBandDFT, x []T) {
+	n := s.plan.n
 	re, im := s.re, s.im
 	rr, ri := s.rot.re, s.rot.im
-	x := s.rec
 	for m := 0; m < s.step; m++ {
-		d := x[s.pos+n+m] - x[s.pos+m]
+		d := float64(x[s.pos+n+m]) - float64(x[s.pos+m])
 		for k := range re {
 			nr := re[k] + d
 			ni := im[k]
@@ -165,8 +226,6 @@ func (s *SlidingBandDFT) Advance() error {
 			im[k] = nr*ri[k] + ni*rr[k]
 		}
 	}
-	s.pos += s.step
-	return nil
 }
 
 // PowersInto writes the normalized power of every band bin into the

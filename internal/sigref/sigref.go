@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/acoustic-auth/piano/internal/dsp"
 )
@@ -83,11 +84,21 @@ func (p Params) DurationSec() float64 {
 
 // Signal is one constructed reference signal. It is fully described by the
 // indices of its chosen candidate frequencies plus per-sinusoid phases;
-// the time-domain samples are synthesized on demand.
+// the time-domain samples are synthesized on first use and cached (see
+// Samples). A Signal must not be copied after first use (the cache is
+// guarded by a sync.Once).
 type Signal struct {
 	params  Params
 	indices []int // sorted indices into params.Candidates()
 	phases  []float64
+
+	// synthOnce guards the one-time synthesis behind Samples: the waveform
+	// costs O(Length·n) math.Sin calls, is scheduled and scanned strictly
+	// by reference (world.SchedulePlay's ownership contract), and is never
+	// mutated — so experiments that replay one signal were re-synthesizing
+	// it for nothing.
+	synthOnce sync.Once
+	samples   []float64
 }
 
 // New constructs a randomized reference signal per the paper's Step I:
@@ -190,9 +201,22 @@ func (s *Signal) TotalRF() float64 {
 	return s.RF() * float64(len(s.indices))
 }
 
-// Samples synthesizes the time-domain reference signal: the sum of the
+// Samples returns the time-domain reference signal: the sum of the
 // component sinusoids, each with amplitude FullScale/n.
+//
+// Immutability contract: the waveform is synthesized once and cached, so
+// every call returns the SAME underlying array, possibly to several
+// goroutines at once. Callers may schedule, window, or correlate against
+// it but must never write to it; a caller needing a scratch buffer must
+// make its own copy. (world.SchedulePlay already imposes the same
+// read-only contract on scheduled slices.)
 func (s *Signal) Samples() []float64 {
+	s.synthOnce.Do(func() { s.samples = s.synthesize() })
+	return s.samples
+}
+
+// synthesize renders the waveform; callers go through Samples.
+func (s *Signal) synthesize() []float64 {
 	out := make([]float64, s.params.Length)
 	amp := s.params.FullScale / float64(len(s.indices))
 	freqs := s.Frequencies()
@@ -236,7 +260,18 @@ func (s *Signal) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
-// UnmarshalSignal decodes a descriptor produced by MarshalBinary.
+// MaxSignalLength bounds the Length field UnmarshalSignal accepts: 2²⁰
+// samples (~24 s at 44.1 kHz) is orders of magnitude beyond any plausible
+// reference-signal design, while a raw uint32 length would let a malformed
+// (or hostile) Step-II descriptor demand a multi-gigabyte synthesis buffer
+// from whoever first calls Samples on the decoded signal.
+const MaxSignalLength = 1 << 20
+
+// UnmarshalSignal decodes a descriptor produced by MarshalBinary. It is the
+// Step-II trust boundary: descriptors arrive over the Bluetooth channel
+// from the peer device, so every field is bounds-checked — in particular
+// Length is capped at MaxSignalLength before the signal (and its eventual
+// synthesis buffer) can come to life.
 func UnmarshalSignal(data []byte) (*Signal, error) {
 	const fixed = 4 + 8*3 + 1 + 8 + 1
 	if len(data) < fixed {
@@ -244,6 +279,9 @@ func UnmarshalSignal(data []byte) (*Signal, error) {
 	}
 	var p Params
 	p.Length = int(binary.LittleEndian.Uint32(data[0:4]))
+	if p.Length <= 0 || p.Length > MaxSignalLength {
+		return nil, fmt.Errorf("%w: length %d outside (0, %d]", ErrBadEncoding, p.Length, MaxSignalLength)
+	}
 	p.SampleRate = math.Float64frombits(binary.LittleEndian.Uint64(data[4:12]))
 	p.BandLowHz = math.Float64frombits(binary.LittleEndian.Uint64(data[12:20]))
 	p.BandHighHz = math.Float64frombits(binary.LittleEndian.Uint64(data[20:28]))

@@ -1,8 +1,11 @@
 package sigref
 
 import (
+	"encoding/binary"
+	"errors"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -203,6 +206,82 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 	}
 	if _, err := UnmarshalSignal(data[:len(data)-1]); err == nil {
 		t.Error("truncated accepted")
+	}
+}
+
+// TestUnmarshalBoundsLength is the hardening regression test: a descriptor
+// whose Length field is absurd (here 2³⁰, a power of two that would pass
+// Params.Validate and later demand an 8 GiB synthesis buffer from
+// Samples) must be rejected at the Step-II trust boundary, as must a zero
+// length. A length at the bound itself still decodes.
+func TestUnmarshalBoundsLength(t *testing.T) {
+	s, err := New(DefaultParams(), rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forge := func(length uint32) []byte {
+		d := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(d[0:4], length)
+		return d
+	}
+	for _, bad := range []uint32{0, 1 << 30, MaxSignalLength * 2, ^uint32(0)} {
+		if _, err := UnmarshalSignal(forge(bad)); !errors.Is(err, ErrBadEncoding) {
+			t.Errorf("length %d: got %v, want ErrBadEncoding", bad, err)
+		}
+	}
+	if _, err := UnmarshalSignal(forge(MaxSignalLength)); err != nil {
+		t.Errorf("length at the bound rejected: %v", err)
+	}
+}
+
+// TestSamplesCachedAndStable pins the lazy-synthesis contract: Samples
+// returns the same backing array on every call (no re-synthesis), the
+// cached waveform matches a from-scratch synthesis bit for bit, and
+// concurrent first calls settle on one buffer.
+func TestSamplesCachedAndStable(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(23))
+	s, err := New(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An equal twin synthesizes the reference waveform independently.
+	twin, err := NewFromIndices(p, s.Indices(), s.phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var bufs [4][]float64
+	var wg sync.WaitGroup
+	for i := range bufs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bufs[i] = s.Samples()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(bufs); i++ {
+		if &bufs[i][0] != &bufs[0][0] {
+			t.Fatal("Samples returned distinct buffers across calls")
+		}
+	}
+	if &s.Samples()[0] != &bufs[0][0] {
+		t.Fatal("later Samples call re-synthesized")
+	}
+	want := twin.Samples()
+	got := bufs[0]
+	if len(got) != p.Length || len(want) != p.Length {
+		t.Fatalf("lengths %d/%d, want %d", len(got), len(want), p.Length)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: cached %v != fresh synthesis %v", i, got[i], want[i])
+		}
 	}
 }
 
