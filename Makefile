@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-auth bench-detect bench-fine bench-render bench-service cover docs-check clean
+.PHONY: all build vet test test-race test-chaos bench bench-smoke bench-auth bench-detect bench-fine bench-render bench-service cover docs-check clean
 
 all: vet build test
 
@@ -17,6 +17,13 @@ test:
 # sessions are data-race-free and bit-identical to serial runs.
 test-race:
 	$(GO) test -race ./...
+
+# Chaos suite under the race detector: concurrent fault storms (slot
+# starvation, mid-scan cancellation, worker panics, slow-scan stalls) must
+# resolve every request to a typed error or a bit-identical result and
+# leave the service serviceable (ARCHITECTURE.md "Failure semantics").
+test-chaos:
+	$(GO) test -race -run TestChaos ./internal/service/ ./internal/faultinject/
 
 # Full benchmark suite with allocation stats (slow: runs every paper figure).
 bench:

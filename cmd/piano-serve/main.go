@@ -7,19 +7,31 @@
 // classic one-pairing Deployment path, then as concurrent sessions through
 // the Service — verifies the decisions agree session by session (the
 // service's bit-identity promise), and reports both throughputs.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: admission stops,
+// in-flight sessions are cancelled cooperatively and drained under
+// -drain-timeout, and the shed counts are reported by failure type.
+// -chaos arms the fault-injection registry (seeded by -chaos-seed) so the
+// hardened failure paths — admission stalls, session panics, slow scans —
+// can be watched from the command line.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/acoustic-auth/piano"
+	"github.com/acoustic-auth/piano/internal/faultinject"
 )
 
 func main() {
@@ -27,6 +39,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "piano-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// run wires OS signals to the cancellable body: SIGINT/SIGTERM stop
+// admission and start the drain.
+func run(w io.Writer, args []string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runCtx(ctx, w, args)
 }
 
 // workload builds one session request per simulated user: device pairs at
@@ -45,10 +65,29 @@ func workload(sessions int) []piano.AuthRequest {
 	return reqs
 }
 
-func run(w io.Writer, args []string) error {
+// shedCategory buckets a failed session for the shutdown/chaos report.
+func shedCategory(err error) string {
+	switch {
+	case errors.Is(err, piano.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, piano.ErrClosed):
+		return "closed"
+	case errors.Is(err, piano.ErrInternal):
+		return "internal"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	default:
+		return "other"
+	}
+}
+
+func runCtx(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("piano-serve", flag.ContinueOnError)
 	sessions := fs.Int("sessions", 8, "number of authentication sessions in the burst")
 	workers := fs.Int("workers", 0, "detect worker pool size (0 = GOMAXPROCS)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight sessions to drain")
+	chaos := fs.Bool("chaos", false, "inject faults (admission stalls, session panics, slow scans) into the service pass")
+	chaosSeed := fs.Int64("chaos-seed", 42, "fault-injection RNG seed (with -chaos)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,9 +96,14 @@ func run(w io.Writer, args []string) error {
 	fmt.Fprintf(w, "piano-serve: %d sessions, %d cores\n\n", len(reqs), runtime.GOMAXPROCS(0))
 
 	// Reference pass: the classic serial path, one Deployment per pairing.
-	serial := make([]*piano.Decision, len(reqs))
+	// An interrupt truncates the workload so the service pass compares
+	// against exactly the sessions that have references.
+	serial := make([]*piano.Decision, 0, len(reqs))
 	serialStart := time.Now()
-	for i, req := range reqs {
+	for _, req := range reqs {
+		if ctx.Err() != nil {
+			break
+		}
 		cfg := piano.DefaultConfig()
 		cfg.Seed = req.Seed
 		dep, err := piano.NewDeployment(cfg, req.Auth, req.Vouch)
@@ -70,11 +114,32 @@ func run(w io.Writer, args []string) error {
 		if err != nil {
 			return err
 		}
-		serial[i] = dec
+		serial = append(serial, dec)
 	}
 	serialDur := time.Since(serialStart)
+	if len(serial) < len(reqs) {
+		fmt.Fprintf(w, "interrupted: %d/%d serial sessions completed; skipping the service pass\n",
+			len(serial), len(reqs))
+		return nil
+	}
 
-	// Service pass: same sessions, all in flight at once.
+	if *chaos {
+		faultinject.Enable(*chaosSeed)
+		defer faultinject.Disable()
+		faultinject.Arm(faultinject.SiteServiceAcquire, faultinject.Fault{
+			Action: faultinject.ActDelay, Delay: 2 * time.Millisecond, Prob: 0.3,
+		})
+		faultinject.Arm(faultinject.SiteServiceSession, faultinject.Fault{
+			Action: faultinject.ActPanic, Prob: 0.2,
+		})
+		faultinject.Arm(faultinject.SiteDetectBlock, faultinject.Fault{
+			Action: faultinject.ActDelay, Delay: 200 * time.Microsecond, Prob: 0.01, Skip: 10,
+		})
+		fmt.Fprintf(w, "chaos: fault injection armed (seed %d): admission stalls, session panics, slow scans\n\n", *chaosSeed)
+	}
+
+	// Service pass: same sessions, all in flight at once, each under the
+	// process context so SIGINT/SIGTERM cancels them cooperatively.
 	svcCfg := piano.DefaultServiceConfig()
 	svcCfg.Workers = *workers
 	svcCfg.MaxSessions = len(reqs)
@@ -82,7 +147,6 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer svc.Close()
 
 	batched := make([]*piano.Decision, len(reqs))
 	errs := make([]error, len(reqs))
@@ -92,24 +156,42 @@ func run(w io.Writer, args []string) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			batched[i], errs[i] = svc.Authenticate(reqs[i])
+			batched[i], errs[i] = svc.AuthenticateContext(ctx, reqs[i])
 		}(i)
 	}
 	wg.Wait()
 	svcDur := time.Since(svcStart)
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+
+	// Graceful shutdown: Close stops admission and drains whatever is
+	// still in flight; the drain itself is bounded by -drain-timeout.
+	drained := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(*drainTimeout):
+		fmt.Fprintf(w, "drain deadline (%v) exceeded; exiting with sessions still in flight\n", *drainTimeout)
 	}
 
-	granted := 0
+	interrupted := ctx.Err() != nil
+	shed := map[string]int{}
+	granted, completed := 0, 0
 	for i, dec := range batched {
+		if errs[i] != nil {
+			if !interrupted && !*chaos {
+				return errs[i]
+			}
+			shed[shedCategory(errs[i])]++
+			continue
+		}
 		ref := serial[i]
 		if dec.Granted != ref.Granted || dec.Reason != ref.Reason ||
 			math.Float64bits(dec.DistanceM) != math.Float64bits(ref.DistanceM) {
 			return fmt.Errorf("session %d: service %+v diverged from serial %+v", i, dec, ref)
 		}
+		completed++
 		if dec.Granted {
 			granted++
 		}
@@ -120,9 +202,23 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintln(w)
 	}
 
+	if len(shed) > 0 {
+		fmt.Fprintf(w, "\nshed %d/%d sessions:", len(reqs)-completed, len(reqs))
+		for _, cat := range []string{"overloaded", "closed", "internal", "canceled", "other"} {
+			if n := shed[cat]; n > 0 {
+				fmt.Fprintf(w, " %s=%d", cat, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if interrupted {
+		fmt.Fprintf(w, "interrupted: admission stopped, %d in-flight sessions drained\n", completed)
+		return nil
+	}
+
 	serialRate := float64(len(reqs)) / serialDur.Seconds()
 	svcRate := float64(len(reqs)) / svcDur.Seconds()
-	fmt.Fprintf(w, "\n%d/%d granted; every session bit-identical to its serial run\n", granted, len(reqs))
+	fmt.Fprintf(w, "\n%d/%d granted; every completed session bit-identical to its serial run\n", granted, completed)
 	fmt.Fprintf(w, "serial loop:        %8.1f ms total, %6.2f sessions/s\n",
 		serialDur.Seconds()*1e3, serialRate)
 	fmt.Fprintf(w, "batched service:    %8.1f ms total, %6.2f sessions/s (%.2fx)\n",

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
+
+	"github.com/acoustic-auth/piano/internal/faultinject"
 )
 
 func TestRunServeSmoke(t *testing.T) {
@@ -22,5 +25,61 @@ func TestRunServeSmoke(t *testing.T) {
 func TestRunServeBadFlags(t *testing.T) {
 	if err := run(&bytes.Buffer{}, []string{"-sessions", "x"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestRunServeChaos: the -chaos flag must arm fault injection, tolerate the
+// injected failures, and report the shed counts by category.
+func TestRunServeChaos(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runCtx(context.Background(), &buf, []string{"-sessions", "6", "-workers", "2", "-chaos", "-chaos-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"chaos: fault injection armed", "sessions/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunServeInterruptDrains: a cancellation landing mid-burst (what
+// SIGINT/SIGTERM delivers through signal.NotifyContext) must stop
+// admission, drain, and report instead of erroring out.
+func TestRunServeInterruptDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Enable(1)
+	defer faultinject.Disable()
+	// The serial pass never fires service sites, so this cancels the run
+	// deterministically during the service pass: on the second admitted
+	// session.
+	faultinject.Arm(faultinject.SiteServiceSession, faultinject.Fault{
+		Action: faultinject.ActHook, Skip: 1, Times: 1, Hook: cancel,
+	})
+	var buf bytes.Buffer
+	if err := runCtx(ctx, &buf, []string{"-sessions", "5", "-workers", "2"}); err != nil {
+		t.Fatalf("interrupted run errored: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "interrupted: admission stopped") {
+		t.Errorf("output missing drain report:\n%s", out)
+	}
+	if faultinject.Hits(faultinject.SiteServiceSession) != 1 {
+		t.Error("cancellation hook never fired during the service pass")
+	}
+}
+
+// TestRunServePreInterrupted: a process already signalled before the burst
+// skips the service pass entirely.
+func TestRunServePreInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := runCtx(ctx, &buf, []string{"-sessions", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "skipping the service pass") {
+		t.Errorf("output missing early-interrupt report:\n%s", buf.String())
 	}
 }

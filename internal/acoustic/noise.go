@@ -44,6 +44,14 @@ func AllEnvironments() []Environment {
 	return []Environment{EnvOffice, EnvHome, EnvStreet, EnvRestaurant}
 }
 
+// KnownEnvironment reports whether e names a defined scenario — the
+// validation gate for environment values arriving from outside the
+// process (service requests), which must be rejected rather than silently
+// mapped to a default profile.
+func KnownEnvironment(e Environment) bool {
+	return e >= EnvQuiet && e <= EnvStreet
+}
+
 // Profile describes one environment's ambient acoustics. Amplitudes are on
 // the int16 PCM scale (full scale 32767).
 //

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -135,7 +136,19 @@ func (a *Authenticator) VouchDevice() *device.Device { return a.vouch }
 // Measure runs ACTION once without making an access decision (the
 // distance-accuracy experiments use this directly).
 func (a *Authenticator) Measure(extras ...ExtraPlay) (*SessionResult, error) {
-	sr, err := RunACTIONWith(SessionDeps{Detector: a.det}, a.cfg, a.auth, a.vouch, a.linkAuth, a.linkVouch, a.rng, extras)
+	return a.MeasureContext(nil, extras...)
+}
+
+// MeasureContext is Measure with cooperative cancellation: the session
+// observes ctx between protocol steps and between scan hop blocks,
+// returning ctx.Err() once it is done. A nil ctx runs uncancellably.
+//
+// A canceled session may already have consumed draws from the session RNG,
+// so abandoning a session mid-run and retrying it on the same Authenticator
+// yields a fresh realization (exactly as a real retry would); sessions that
+// complete are bit-identical to uncancellable runs.
+func (a *Authenticator) MeasureContext(ctx context.Context, extras ...ExtraPlay) (*SessionResult, error) {
+	sr, err := RunACTIONWith(SessionDeps{Detector: a.det, Ctx: ctx}, a.cfg, a.auth, a.vouch, a.linkAuth, a.linkVouch, a.rng, extras)
 	if err != nil {
 		return nil, err
 	}
@@ -149,10 +162,16 @@ func (a *Authenticator) Measure(extras ...ExtraPlay) (*SessionResult, error) {
 //  2. run ACTION;
 //  3. grant iff the estimated distance ≤ τ.
 func (a *Authenticator) Authenticate(extras ...ExtraPlay) (*Result, error) {
+	return a.AuthenticateContext(nil, extras...)
+}
+
+// AuthenticateContext is Authenticate with cooperative cancellation (see
+// MeasureContext for the contract). A nil ctx runs uncancellably.
+func (a *Authenticator) AuthenticateContext(ctx context.Context, extras ...ExtraPlay) (*Result, error) {
 	if !a.linkAuth.InRange() {
 		return &Result{Granted: false, Reason: ReasonBluetoothOutOfRange}, nil
 	}
-	sr, err := a.Measure(extras...)
+	sr, err := a.MeasureContext(ctx, extras...)
 	if err != nil {
 		return nil, err
 	}

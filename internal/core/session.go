@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime/debug"
 	"sync"
 
 	"github.com/acoustic-auth/piano/internal/acoustic"
@@ -48,6 +50,13 @@ type SessionDeps struct {
 	// declared parameters otherwise, so RunACTIONWith rejects a mismatch.
 	// The detector must be safe for concurrent use (detect.Detector is).
 	Detector *detect.Detector
+	// Ctx, when non-nil, cancels the session cooperatively: RunACTIONWith
+	// checks it between protocol steps and threads it into the Step-IV
+	// scans, which observe it between hop blocks. A canceled session
+	// returns ctx.Err() and stops burning pool workers mid-scan; sessions
+	// that complete are bit-identical to uncancellable runs (checkpoints
+	// never reorder or change any computation).
+	Ctx context.Context
 }
 
 // SessionResult captures one full run of ACTION.
@@ -91,6 +100,20 @@ func sameIndexSet(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// ctxErr reports a done context without blocking; a nil ctx (the
+// uncancellable session form) never errs.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // locDiffMsg is the Step V payload: the vouching device's local location
@@ -160,6 +183,9 @@ func RunACTIONWith(
 	}
 	if deps.Detector != nil && deps.Detector.Config() != cfg.Detect {
 		return nil, errors.New("core: injected detector parameters differ from session config")
+	}
+	if err := ctxErr(deps.Ctx); err != nil {
+		return nil, err
 	}
 
 	res := &SessionResult{}
@@ -248,6 +274,12 @@ func RunACTIONWith(
 	}
 
 	// --- Step III: build the scene and play. ---
+	// Cancellation checkpoint before the render — the most expensive
+	// non-detection phase; an abandoned caller stops here instead of
+	// rendering a scene nobody will scan.
+	if err := ctxErr(deps.Ctx); err != nil {
+		return nil, err
+	}
 	w, err := world.New(cfg.World, rng)
 	if err != nil {
 		return nil, err
@@ -304,6 +336,9 @@ func RunACTIONWith(
 	// deterministic, so the session result stays bit-identical to the
 	// sequential pipeline. A service-injected detector batches these scans
 	// through its shared worker pool instead of per-session machinery.
+	if err := ctxErr(deps.Ctx); err != nil {
+		return nil, err
+	}
 	det := deps.Detector
 	if det == nil {
 		var err error
@@ -316,6 +351,17 @@ func RunACTIONWith(
 	var errAuth, errVouch error
 	var wg sync.WaitGroup
 	wg.Add(2)
+	// Panic isolation for the per-device detection goroutines: a panic
+	// there would otherwise kill the whole process (no recover on the
+	// goroutine's stack). Convert it to the same typed *detect.PanicError
+	// the scan engine reports for its own workers, captured into the
+	// goroutine's error slot. Registered after wg.Done (defers run LIFO),
+	// so the error is in place before wg.Wait observes completion.
+	trap := func(errp *error) {
+		if r := recover(); r != nil {
+			*errp = &detect.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}
 	if cfg.Mode == DetectCrossCorrelation {
 		// ACTION-CC baseline: locate each signal by normalized
 		// cross-correlation against the original waveform.
@@ -332,10 +378,12 @@ func RunACTIONWith(
 		}
 		go func() {
 			defer wg.Done()
+			defer trap(&errAuth)
 			resAuth, errAuth = ccDetect(recs[auth].Float(), sigA, sigV)
 		}()
 		go func() {
 			defer wg.Done()
+			defer trap(&errVouch)
 			resVouch, errVouch = ccDetect(recs[vouch].Float(), vouchSigA, vouchSigV)
 		}()
 	} else {
@@ -347,14 +395,16 @@ func RunACTIONWith(
 		// bit-identical to scanning the converted recording.
 		go func() {
 			defer wg.Done()
-			resAuth, errAuth = det.DetectAllPCM(recs[auth].Samples, sigA, sigV)
+			defer trap(&errAuth)
+			resAuth, errAuth = det.DetectAllPCMContext(deps.Ctx, recs[auth].Samples, sigA, sigV)
 			if errAuth != nil {
 				errAuth = fmt.Errorf("core: detect on authenticating device: %w", errAuth)
 			}
 		}()
 		go func() {
 			defer wg.Done()
-			resVouch, errVouch = det.DetectAllPCM(recs[vouch].Samples, vouchSigA, vouchSigV)
+			defer trap(&errVouch)
+			resVouch, errVouch = det.DetectAllPCMContext(deps.Ctx, recs[vouch].Samples, vouchSigA, vouchSigV)
 			if errVouch != nil {
 				errVouch = fmt.Errorf("core: detect on vouching device: %w", errVouch)
 			}

@@ -1,14 +1,17 @@
 package detect
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"github.com/acoustic-auth/piano/internal/dsp"
+	"github.com/acoustic-auth/piano/internal/faultinject"
 	"github.com/acoustic-auth/piano/internal/sigref"
 )
 
@@ -179,6 +182,25 @@ type Result struct {
 	// CoarseScanned is the shared coarse-scan window count, so callers
 	// can compute total FFT work without double-counting.
 	CoarseScanned int
+}
+
+// PanicError is a panic recovered inside the scan engine (a pool worker,
+// a transient scan goroutine, or the submitting goroutine's own share of a
+// scan), converted to an error so one crashing scan cannot take down the
+// process or the shared worker pool. The workspace the panicking goroutine
+// held is discarded, not recycled, so later scans never see its
+// potentially corrupted scratch; the service layer wraps PanicError into
+// its typed ErrInternal and re-prewarms a replacement workspace.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("detect: panic during scan: %v", e.Value)
 }
 
 // Detector locates reference signals in recorded audio.
@@ -531,7 +553,17 @@ func (d *Detector) Detect(recording []float64, sig *sigref.Signal) (Result, erro
 // exact FFT, so reported locations and powers are bit-identical to an
 // all-exact fine scan by construction (see the fine-scan section below).
 func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Result, error) {
-	return d.detectAll(recSource{f: recording}, sigs)
+	return d.detectAll(nil, recSource{f: recording}, sigs)
+}
+
+// DetectAllContext is DetectAll with cooperative cancellation: the scan
+// observes ctx between hop blocks (the fixed dsp.StreamResyncHops /
+// fftScanBlock grid) and between phases, returning ctx.Err() as soon as a
+// checkpoint sees the context done. Scans that complete are bit-identical
+// to DetectAll — cancellation can only abort a scan, never reorder or
+// change its scores. A nil ctx scans without checkpoints.
+func (d *Detector) DetectAllContext(ctx context.Context, recording []float64, sigs ...*sigref.Signal) ([]Result, error) {
+	return d.detectAll(ctx, recSource{f: recording}, sigs)
 }
 
 // DetectAllPCM is DetectAll over a raw int16 PCM recording — the
@@ -541,10 +573,29 @@ func (d *Detector) DetectAll(recording []float64, sigs ...*sigref.Signal) ([]Res
 // materialized and results are bit-identical to
 // DetectAll(audio.ToFloat(pcm), ...).
 func (d *Detector) DetectAllPCM(pcm []int16, sigs ...*sigref.Signal) ([]Result, error) {
-	return d.detectAll(recSource{pcm: pcm}, sigs)
+	return d.detectAll(nil, recSource{pcm: pcm}, sigs)
 }
 
-func (d *Detector) detectAll(rec recSource, sigs []*sigref.Signal) ([]Result, error) {
+// DetectAllPCMContext is DetectAllPCM with the cooperative-cancellation
+// checkpoints of DetectAllContext.
+func (d *Detector) DetectAllPCMContext(ctx context.Context, pcm []int16, sigs ...*sigref.Signal) ([]Result, error) {
+	return d.detectAll(ctx, recSource{pcm: pcm}, sigs)
+}
+
+// ctxErr reports a done context without blocking; nil contexts never err.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func (d *Detector) detectAll(ctx context.Context, rec recSource, sigs []*sigref.Signal) ([]Result, error) {
 	if len(sigs) == 0 {
 		return nil, errors.New("detect: no signals given")
 	}
@@ -597,7 +648,7 @@ func (d *Detector) detectAll(rec recSource, sigs []*sigref.Signal) ([]Result, er
 	// exact per-window FFTs — bit-identical to the pre-streaming engine.
 	stream := !d.disableStream && dsp.StreamingWins(winLen, band.hi-band.lo, d.cfg.CoarseStep)
 	scores := sb.buf[:coarseCount*len(specs)]
-	if err := d.scanWindows(rec, winLen, 0, d.cfg.CoarseStep, coarseCount, band, stream, specs, scores, nil); err != nil {
+	if err := d.scanWindows(ctx, rec, winLen, 0, d.cfg.CoarseStep, coarseCount, band, stream, specs, scores, nil); err != nil {
 		return nil, err
 	}
 	for w := 0; w < coarseCount; w++ {
@@ -627,6 +678,11 @@ func (d *Detector) detectAll(rec recSource, sigs []*sigref.Signal) ([]Result, er
 
 	// Fine scan per signal around its coarse argmax.
 	for s, ss := range specs {
+		// Cancellation checkpoint between scan phases: an abandoned
+		// session stops before burning another fine scan.
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		results[s].WindowsScanned = scanned
 		results[s].CoarseScanned = scanned
 		if bestIdx[s] < 0 || math.IsInf(bestPow[s], -1) {
@@ -656,7 +712,7 @@ func (d *Detector) detectAll(rec recSource, sigs []*sigref.Signal) ([]Result, er
 		if !fineStream {
 			// Exact per-window FFTs (band-restricted unpack only): fine
 			// steps above the break-even don't benefit from streaming.
-			if err := d.scanWindows(rec, winLen, lo, d.cfg.FineStep, fineCount, band, false, one, fineScores, nil); err != nil {
+			if err := d.scanWindows(ctx, rec, winLen, lo, d.cfg.FineStep, fineCount, band, false, one, fineScores, nil); err != nil {
 				return nil, err
 			}
 			for w := 0; w < fineCount; w++ {
@@ -666,10 +722,10 @@ func (d *Detector) detectAll(rec recSource, sigs []*sigref.Signal) ([]Result, er
 			}
 		} else {
 			gross := sb.buf[fineCount : 2*fineCount]
-			if err := d.scanWindows(rec, winLen, lo, d.cfg.FineStep, fineCount, band, true, one, fineScores, gross); err != nil {
+			if err := d.scanWindows(ctx, rec, winLen, lo, d.cfg.FineStep, fineCount, band, true, one, fineScores, gross); err != nil {
 				return nil, err
 			}
-			if err := d.rescoreFinePeaks(rec, winLen, lo, fineCount, band, ss, fineScores, gross, &bestPow[s], &bestIdx[s]); err != nil {
+			if err := d.rescoreFinePeaks(ctx, rec, winLen, lo, fineCount, band, ss, fineScores, gross, &bestPow[s], &bestIdx[s]); err != nil {
 				return nil, err
 			}
 		}
@@ -717,7 +773,7 @@ func (d *Detector) detectAll(rec recSource, sigs []*sigref.Signal) ([]Result, er
 // authoritative, so certain-fail windows are never re-checked and an
 // all-certain-fail fine scan re-checks nothing, again matching the
 // all-exact scan.
-func (d *Detector) rescoreFinePeaks(rec recSource, winLen, lo, fineCount int, band bandRange, ss *sigSpec, scores, gross []float64, bestPow *float64, bestIdx *int) error {
+func (d *Detector) rescoreFinePeaks(ctx context.Context, rec recSource, winLen, lo, fineCount int, band bandRange, ss *sigSpec, scores, gross []float64, bestPow *float64, bestIdx *int) error {
 	// maxLower is the best exact score certainly attained (the largest
 	// interval lower bound); ambiguous windows contribute −Inf to it but
 	// still force their own re-check via a +Inf upper bound.
@@ -744,6 +800,11 @@ func (d *Detector) rescoreFinePeaks(rec recSource, winLen, lo, fineCount int, ba
 	for w := 0; w < fineCount; w++ {
 		if math.IsInf(scores[w], -1) || scores[w]+fineDriftMargin*gross[w] < maxLower {
 			continue
+		}
+		// Each candidate costs one exact FFT; let cancellation land
+		// between them (usually just the peak window, so this is ~free).
+		if err := ctxErr(ctx); err != nil {
+			return err
 		}
 		i := lo + w*d.cfg.FineStep
 		if err := rec.bandSpectrumAt(ws, i, winLen, band); err != nil {
@@ -783,12 +844,41 @@ type scanJob struct {
 	gross []float64
 	theta int
 	block int
+	// blocks is the total block count of the fixed grid.
+	blocks int
+	// ctx/done are the scan's cancellation checkpoint state: done is
+	// ctx.Done(), captured once so the per-block check is a nil test plus
+	// a non-blocking select. Both nil for uncancellable scans.
+	ctx  context.Context
+	done <-chan struct{}
+}
+
+// checkpoint returns ctx.Err() once the scan's context is done. It sits
+// between hop blocks, so the happy path pays one nil check per block and a
+// canceled scan stops within one block's worth of FFT work.
+func (j *scanJob) checkpoint() error {
+	if j.done == nil {
+		return nil
+	}
+	select {
+	case <-j.done:
+		return j.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // runBlock scores the contiguous hop range of block b with ws (and its
 // sliding engine sd in streaming mode: one exact Reset at the block start,
 // incremental advances within).
 func (j *scanJob) runBlock(ws *scanWorkspace, sd *dsp.SlidingBandDFT, b int) error {
+	// Chaos hook: one atomic load when the fault registry is disabled (the
+	// production state); armed, it can stall this block, panic the worker
+	// (exercising panic isolation), or trip a Hook that cancels the
+	// session mid-scan.
+	if err := faultinject.Fire(faultinject.SiteDetectBlock); err != nil {
+		return err
+	}
 	w0 := b * j.block
 	wEnd := w0 + j.block
 	if wEnd > j.count {
@@ -850,7 +940,7 @@ func (j *scanJob) score(w int, spec []float64) {
 // (dsp.StreamResyncHops), so which worker computes a block never changes
 // its scores and results stay bit-deterministic at any GOMAXPROCS. The
 // caller's in-order reduction therefore always matches a sequential scan.
-func (d *Detector) scanWindows(rec recSource, winLen, lo, step, count int, band bandRange, stream bool, specs []*sigSpec, scores, gross []float64) error {
+func (d *Detector) scanWindows(ctx context.Context, rec recSource, winLen, lo, step, count int, band bandRange, stream bool, specs []*sigSpec, scores, gross []float64) error {
 	// Bounds guard: the last window is recording[lo+(count-1)*step :
 	// lo+(count-1)*step+winLen]. A recording too short for the requested
 	// sequence used to slice out of range and panic; refuse it instead.
@@ -875,46 +965,33 @@ func (d *Detector) scanWindows(rec recSource, winLen, lo, step, count int, band 
 		gross:  gross,
 		theta:  d.cfg.Theta,
 		block:  fftScanBlock,
+		ctx:    ctx,
+	}
+	if ctx != nil {
+		job.done = ctx.Done()
 	}
 	if stream {
 		// One resync (full-FFT Reset) per block bounds sliding-DFT drift;
 		// see dsp.StreamResyncHops for the drift budget.
 		job.block = dsp.StreamResyncHops
 	}
-	blocks := (count + job.block - 1) / job.block
+	job.blocks = (count + job.block - 1) / job.block
 
 	// Sequential fast path (single-core machines, tiny scans): the
 	// submitting goroutine walks the same fixed block grid alone — no
-	// closures, no synchronization — so scores are identical to a parallel
-	// run by construction and steady-state allocations stay at zero.
+	// extra goroutines, no synchronization — so scores are identical to a
+	// parallel run by construction and steady-state allocations stay at
+	// zero. The shared atomic counter only ever sees one claimant here.
 	helpers := runtime.GOMAXPROCS(0) - 1
 	if d.pool != nil {
 		helpers = d.pool.Workers()
 	}
-	if helpers > blocks-1 {
-		helpers = blocks - 1
+	if helpers > job.blocks-1 {
+		helpers = job.blocks - 1
 	}
 	if helpers <= 0 {
-		ws, err := d.getWorkspace(winLen)
-		if err != nil {
-			return err
-		}
-		defer d.wsPool.Put(ws)
-		var sd *dsp.SlidingBandDFT
-		if stream {
-			if sd, err = ws.sliding(band, step); err != nil {
-				return err
-			}
-			// Don't let the pooled workspace pin this scan's recording
-			// after the scan ends (runs before the deferred wsPool.Put).
-			defer sd.Release()
-		}
-		for b := 0; b < blocks; b++ {
-			if err := job.runBlock(ws, sd, b); err != nil {
-				return err
-			}
-		}
-		return nil
+		var next atomic.Int64
+		return d.scanWorker(&job, &next)
 	}
 	// The parallel path's closures share one heap copy of the job; job
 	// itself stays on the stack so the sequential path above is
@@ -931,34 +1008,11 @@ func (d *Detector) scanWindows(rec recSource, winLen, lo, step, count int, band 
 			scanErr = err
 		}
 		errMu.Unlock()
-		next.Store(int64(blocks)) // stop remaining claims
+		next.Store(int64(jobp.blocks)) // stop remaining claims
 	}
 	work := func() {
-		ws, err := d.getWorkspace(winLen)
-		if err != nil {
+		if err := d.scanWorker(jobp, &next); err != nil {
 			fail(err)
-			return
-		}
-		defer d.wsPool.Put(ws)
-		var sd *dsp.SlidingBandDFT
-		if stream {
-			if sd, err = ws.sliding(band, step); err != nil {
-				fail(err)
-				return
-			}
-			// Don't let the pooled workspace pin this scan's recording
-			// after the scan ends (runs before the deferred wsPool.Put).
-			defer sd.Release()
-		}
-		for {
-			b := int(next.Add(1)) - 1
-			if b >= blocks {
-				return
-			}
-			if err := jobp.runBlock(ws, sd, b); err != nil {
-				fail(err)
-				return
-			}
 		}
 	}
 
@@ -982,6 +1036,55 @@ func (d *Detector) scanWindows(rec recSource, winLen, lo, step, count int, band 
 	work()
 	wg.Wait()
 	return scanErr
+}
+
+// scanWorker is one goroutine's share of a scan: it checks a workspace
+// out of the pool and claims blocks off the shared counter until the grid
+// is exhausted, an error occurs, or a checkpoint observes cancellation.
+//
+// Panic isolation: a panic anywhere in the claimed blocks (a bug, or an
+// injected fault) is recovered here and converted to a *PanicError so the
+// scan fails with a typed error instead of killing the process. The
+// workspace the panic may have left mid-update is treated as poisoned and
+// discarded — never recycled into the pool — so subsequent scans only ever
+// see scratch in a known-good state; the owning service re-prewarms a
+// replacement (detect.Prewarm) when it sees the error.
+func (d *Detector) scanWorker(j *scanJob, next *atomic.Int64) (err error) {
+	ws, err := d.getWorkspace(j.winLen)
+	if err != nil {
+		return err
+	}
+	var sd *dsp.SlidingBandDFT
+	defer func() {
+		if r := recover(); r != nil {
+			// Poisoned: drop ws on the floor (GC reclaims it) and report.
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+			return
+		}
+		if sd != nil {
+			// Don't let the pooled workspace pin this scan's recording
+			// after the scan ends.
+			sd.Release()
+		}
+		d.wsPool.Put(ws)
+	}()
+	if j.stream {
+		if sd, err = ws.sliding(j.band, j.step); err != nil {
+			return err
+		}
+	}
+	for {
+		b := int(next.Add(1)) - 1
+		if b >= j.blocks {
+			return nil
+		}
+		if err := j.checkpoint(); err != nil {
+			return err
+		}
+		if err := j.runBlock(ws, sd, b); err != nil {
+			return err
+		}
+	}
 }
 
 // Prewarm builds and pools workers scan workspaces sized for signals drawn

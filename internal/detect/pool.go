@@ -50,9 +50,20 @@ func (p *Pool) worker() {
 		case <-p.done:
 			return
 		case fn := <-p.tasks:
-			fn()
+			p.invoke(fn)
 		}
 	}
+}
+
+// invoke runs one task with last-resort panic isolation: a panicking task
+// must not take the long-lived worker goroutine (and with it the process)
+// down. Scan tasks convert their own panics to typed errors before this
+// recover ever fires (see Detector scan internals / PanicError), so a
+// value reaching here has already been reported to its submitter; it is
+// dropped and the worker returns to the queue.
+func (p *Pool) invoke(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
 }
 
 // Workers returns the pool size.

@@ -38,7 +38,7 @@ func TestScanWindowsBoundsGuard(t *testing.T) {
 	// truncated one: lo + (count-1)*step + winLen = 24096 > 20000.
 	truncated := make([]float64, 20000)
 	scores := make([]float64, 21)
-	err = det.scanWindows(recSource{f: truncated}, p.Length, 0, 1000, 21, testBand(p), false, []*sigSpec{spec}, scores, nil)
+	err = det.scanWindows(nil, recSource{f: truncated}, p.Length, 0, 1000, 21, testBand(p), false, []*sigSpec{spec}, scores, nil)
 	if err == nil {
 		t.Fatal("scanWindows accepted a window sequence past the recording end")
 	}
@@ -47,13 +47,13 @@ func TestScanWindowsBoundsGuard(t *testing.T) {
 	}
 
 	// Degenerate sequences are refused too.
-	if err := det.scanWindows(recSource{f: truncated}, p.Length, -1, 1000, 1, testBand(p), false, []*sigSpec{spec}, scores, nil); err == nil {
+	if err := det.scanWindows(nil, recSource{f: truncated}, p.Length, -1, 1000, 1, testBand(p), false, []*sigSpec{spec}, scores, nil); err == nil {
 		t.Fatal("negative lo accepted")
 	}
-	if err := det.scanWindows(recSource{f: truncated}, p.Length, 0, 0, 1, testBand(p), false, []*sigSpec{spec}, scores, nil); err == nil {
+	if err := det.scanWindows(nil, recSource{f: truncated}, p.Length, 0, 0, 1, testBand(p), false, []*sigSpec{spec}, scores, nil); err == nil {
 		t.Fatal("zero step accepted")
 	}
-	if err := det.scanWindows(recSource{f: truncated}, p.Length, 0, 1000, 0, testBand(p), false, []*sigSpec{spec}, scores, nil); err == nil {
+	if err := det.scanWindows(nil, recSource{f: truncated}, p.Length, 0, 1000, 0, testBand(p), false, []*sigSpec{spec}, scores, nil); err == nil {
 		t.Fatal("zero count accepted")
 	}
 

@@ -1,0 +1,6 @@
+//go:build !race
+
+package detect
+
+// raceEnabled is false without the race detector; see race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package detect
+
+// raceEnabled reports whether the race detector is compiled into this test
+// binary. Byte-level allocation budgets are asserted only without it: race
+// instrumentation grows TotalAlloc nondeterministically (shadow state,
+// deferred sweep timing), so those assertions would measure the detector,
+// not the code under test. Allocation *counts* stay asserted either way.
+const raceEnabled = true

@@ -1,0 +1,31 @@
+// Package faultinject is the repo's deterministic fault-injection
+// registry: named injection sites compiled into production code paths
+// (slot acquisition, session start, scan hop blocks) that chaos tests and
+// cmd/piano-serve arm to force the failure modes the hardened service
+// must survive — worker panics mid-scan, slow-scan stalls, forced
+// cancellations, and slot starvation.
+//
+// # Key types
+//
+//   - Fault — one armed behaviour at a site: an Action (panic, delay,
+//     error, or hook-only) plus trigger discipline (Skip/Times counts, or
+//     a seeded probability) and an optional Hook callback.
+//   - Fire — the hot-path call instrumented code makes. Disabled (the
+//     default and the production state) it is one atomic load and returns
+//     nil, so instrumented loops pay ~nothing; see BENCH_hardening.json.
+//
+// # Invariants
+//
+//   - Count-based triggers (Skip/Times) are driven by a per-site firing
+//     counter, so for a fixed per-site call sequence they are fully
+//     deterministic regardless of goroutine scheduling. Probability
+//     triggers draw from one seeded RNG under the registry lock: runs
+//     with equal seeds draw the same stream, but which concurrent Fire
+//     consumes which draw depends on the schedule — chaos tests that need
+//     exact replay use counts, not probabilities.
+//   - Enable resets all sites and the RNG; Disable restores the zero-cost
+//     path. Both are safe to call at any time, including while
+//     instrumented code is firing.
+//   - The package never imports other repo packages, so any layer may
+//     instrument itself without import cycles.
+package faultinject

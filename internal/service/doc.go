@@ -20,4 +20,18 @@
 // piano.Deployment path — at any concurrency level (race-tested). The pool
 // recruits a session's own goroutine when all workers are busy, so a
 // saturated service degrades to serial execution instead of deadlocking.
+//
+// Failure semantics (PR 6 hardening; see ARCHITECTURE.md "Failure
+// semantics"): admission is deadline-aware — past MaxSessions a request
+// waits at most MaxQueueWait in a queue at most MaxQueueDepth deep and
+// sheds with ErrOverloaded beyond either bound; Close stops admission,
+// sheds queued waiters with ErrClosed, and drains admitted sessions.
+// Cancellation is cooperative (between protocol steps and scan hop blocks)
+// and surfaces as the caller's bare ctx.Err(). A panic anywhere in a
+// session's pipeline is recovered into ErrInternal (the *InternalError
+// carries the stack), the poisoned scan workspace is discarded and
+// re-prewarmed, and the service keeps serving. None of this perturbs the
+// bit-identity contract: a session that completes is byte-for-byte the
+// serial result. internal/faultinject provides the chaos hooks the tests
+// (and piano-serve -chaos) use to prove all of the above under -race.
 package service

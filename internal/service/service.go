@@ -1,11 +1,15 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"github.com/acoustic-auth/piano/internal/acoustic"
 	"github.com/acoustic-auth/piano/internal/attack"
@@ -13,10 +17,46 @@ import (
 	"github.com/acoustic-auth/piano/internal/detect"
 	"github.com/acoustic-auth/piano/internal/device"
 	"github.com/acoustic-auth/piano/internal/dsp"
+	"github.com/acoustic-auth/piano/internal/faultinject"
 )
 
-// ErrClosed is returned by Authenticate after Close.
+// ErrClosed is returned by Authenticate after Close has begun: both for
+// calls arriving after Close and for callers that were still waiting for a
+// session slot when draining started (they are shed, not admitted).
 var ErrClosed = errors.New("service: closed")
+
+// ErrOverloaded is the admission-control shed signal: the service is at
+// its concurrent-session bound and the request either exceeded
+// Config.MaxQueueWait waiting for a slot or found the wait queue already
+// MaxQueueDepth deep. Callers should back off and retry; the service
+// itself remains healthy.
+var ErrOverloaded = errors.New("service: overloaded")
+
+// ErrInternal marks a session that died to a recovered panic (a bug or an
+// injected fault) anywhere in its pipeline — scan workers, per-device
+// detection goroutines, or the session goroutine itself. Match with
+// errors.Is; the concrete *InternalError in the chain carries the panic
+// value and stack. The service stays serviceable: the poisoned scan
+// workspace is discarded and a replacement is re-prewarmed.
+var ErrInternal = errors.New("service: internal error")
+
+// InternalError is the concrete error behind ErrInternal: one recovered
+// panic with the stack of the goroutine that panicked.
+type InternalError struct {
+	// Panic is the recovered panic value.
+	Panic any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error (the stack is carried, not printed — log it from
+// the field).
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("service: internal error: panic: %v", e.Panic)
+}
+
+// Is reports errors.Is(e, ErrInternal).
+func (e *InternalError) Is(target error) bool { return target == ErrInternal }
 
 // Config configures a long-lived AuthService.
 type Config struct {
@@ -29,10 +69,21 @@ type Config struct {
 	// Workers sizes the shared detect worker pool (≤ 0 → GOMAXPROCS).
 	Workers int
 	// MaxSessions bounds the number of concurrently running sessions
-	// (≤ 0 → 4 × Workers). Excess Authenticate calls block until a slot
-	// frees up, which keeps memory and goroutine counts flat under burst
-	// load.
+	// (≤ 0 → 4 × Workers). Excess Authenticate calls wait for a slot,
+	// which keeps memory and goroutine counts flat under burst load; how
+	// long they may wait is governed by MaxQueueWait/MaxQueueDepth.
 	MaxSessions int
+	// MaxQueueWait bounds how long a request may wait for a session slot
+	// once all MaxSessions are busy; past it the request is shed with
+	// ErrOverloaded instead of blocking forever behind a saturated
+	// service. 0 (the default) waits indefinitely — the pre-hardening
+	// behaviour — though a request context can still cancel the wait.
+	MaxQueueWait time.Duration
+	// MaxQueueDepth bounds how many requests may wait for a slot at once;
+	// a request arriving at a full queue is shed immediately with
+	// ErrOverloaded (SEDA-style admission control: bounded queue, bounded
+	// wait, load shedding beyond both). 0 means unbounded.
+	MaxQueueDepth int
 }
 
 // DeviceSpec describes one session device's placement and hardware quirks
@@ -74,10 +125,12 @@ type AuthService struct {
 	det   *detect.Detector
 	plans *dsp.PlanSet
 
-	sem chan struct{} // session slots
+	sem      chan struct{} // session slots
+	draining chan struct{} // closed when Close begins: sheds queued waiters
 
 	mu       sync.Mutex
 	closed   bool
+	waiters  int // requests currently queued for a slot
 	inFlight sync.WaitGroup
 	sessions uint64
 }
@@ -117,11 +170,12 @@ func New(cfg Config) (*AuthService, error) {
 		return nil, fmt.Errorf("service: %w", err)
 	}
 	return &AuthService{
-		cfg:   cfg,
-		pool:  pool,
-		det:   det,
-		plans: plans,
-		sem:   make(chan struct{}, cfg.MaxSessions),
+		cfg:      cfg,
+		pool:     pool,
+		det:      det,
+		plans:    plans,
+		sem:      make(chan struct{}, cfg.MaxSessions),
+		draining: make(chan struct{}),
 	}, nil
 }
 
@@ -136,9 +190,15 @@ func (s *AuthService) Sessions() uint64 {
 	return s.sessions
 }
 
-// begin reserves a session slot; it blocks while MaxSessions sessions are
-// in flight and fails once the service is closed.
-func (s *AuthService) begin() error {
+// begin reserves a session slot. Admission is deadline-aware and
+// drain-aware: while all MaxSessions slots are busy the request waits at
+// most MaxQueueWait (0 → indefinitely) in a queue at most MaxQueueDepth
+// deep (0 → unbounded), sheds with ErrOverloaded past either bound,
+// aborts with ctx.Err() if the caller gives up, and is turned away with
+// ErrClosed the moment Close starts draining — a waiter already counted
+// in inFlight must never be admitted to run a full session after Close
+// began (the PR-6 Close/begin race).
+func (s *AuthService) begin(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -146,8 +206,77 @@ func (s *AuthService) begin() error {
 	}
 	s.inFlight.Add(1)
 	s.mu.Unlock()
-	s.sem <- struct{}{}
+
+	// Fast path: a free slot admits without queue accounting.
+	select {
+	case s.sem <- struct{}{}:
+		return s.admitted()
+	default:
+	}
+
+	// Queue path: bounded depth, bounded wait, cancellable, drain-aware.
+	if !s.enqueue() {
+		s.inFlight.Done()
+		return ErrOverloaded
+	}
+	defer s.dequeue()
+	var timeout <-chan time.Time
+	if s.cfg.MaxQueueWait > 0 {
+		t := time.NewTimer(s.cfg.MaxQueueWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return s.admitted()
+	case <-s.draining:
+		s.inFlight.Done()
+		return ErrClosed
+	case <-timeout:
+		s.inFlight.Done()
+		return ErrOverloaded
+	case <-done:
+		s.inFlight.Done()
+		return ctx.Err()
+	}
+}
+
+// admitted re-checks closed after slot acquisition: a select racing Close
+// may take the slot case even though draining is also ready, and a session
+// admitted then would outlive the drain. The slot is given back and the
+// caller sheds with ErrClosed.
+func (s *AuthService) admitted() error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		<-s.sem
+		s.inFlight.Done()
+		return ErrClosed
+	}
 	return nil
+}
+
+// enqueue reserves a wait-queue position, refusing when the queue is
+// already MaxQueueDepth deep.
+func (s *AuthService) enqueue() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.MaxQueueDepth > 0 && s.waiters >= s.cfg.MaxQueueDepth {
+		return false
+	}
+	s.waiters++
+	return true
+}
+
+func (s *AuthService) dequeue() {
+	s.mu.Lock()
+	s.waiters--
+	s.mu.Unlock()
 }
 
 func (s *AuthService) end() {
@@ -167,21 +296,99 @@ func (s *AuthService) sessionConfig(req Request) core.Config {
 	return cfg
 }
 
-// Authenticate runs one complete PIANO session and returns the access
-// decision. It blocks while the service is at its concurrent-session
-// bound. The session's scans are batched through the service's shared
-// worker pool; its result is bit-identical to a serial run of the same
-// request.
-func (s *AuthService) Authenticate(req Request) (*core.Result, error) {
-	// τ is an access-control parameter: reject nonsense instead of
-	// silently deciding at the service default (0 means "use default").
-	if req.ThresholdM < 0 {
-		return nil, fmt.Errorf("service: threshold %g m must be positive (or 0 for the service default)", req.ThresholdM)
+// validateRequest rejects request parameters that would otherwise be
+// silently misinterpreted: τ is an access-control parameter, so NaN/±Inf
+// (which pass a plain `< 0` check) and negatives are errors rather than
+// "use the service default", and an environment value must name a known
+// scenario instead of falling through to some profile.
+func validateRequest(req Request) error {
+	switch {
+	case math.IsNaN(req.ThresholdM) || math.IsInf(req.ThresholdM, 0):
+		return fmt.Errorf("service: threshold %g m is not a finite value", req.ThresholdM)
+	case req.ThresholdM < 0:
+		return fmt.Errorf("service: threshold %g m must be positive (or 0 for the service default)", req.ThresholdM)
 	}
-	if err := s.begin(); err != nil {
+	if req.Environment != 0 && !acoustic.KnownEnvironment(req.Environment) {
+		return fmt.Errorf("service: unknown environment %d (known: quiet through street, or 0 for the service default)", int(req.Environment))
+	}
+	return nil
+}
+
+// Authenticate runs one complete PIANO session and returns the access
+// decision, waiting (subject to the configured queue bounds) while the
+// service is at its concurrent-session limit. It is
+// AuthenticateContext with an uncancellable context.
+func (s *AuthService) Authenticate(req Request) (*core.Result, error) {
+	return s.AuthenticateContext(context.Background(), req)
+}
+
+// AuthenticateContext runs one complete PIANO session under ctx and
+// returns the access decision. The session's scans are batched through the
+// service's shared worker pool; a session that completes is bit-identical
+// to a serial run of the same request. Failure semantics (see also
+// ARCHITECTURE.md "Failure semantics"):
+//
+//   - invalid request parameters error before admission;
+//   - admission sheds with ErrOverloaded past MaxQueueWait/MaxQueueDepth,
+//     ErrClosed once Close has begun, or ctx.Err() if the caller gives up
+//     in the queue;
+//   - after admission, cancellation is cooperative: the session observes
+//     ctx between protocol steps and between scan hop blocks and returns
+//     ctx.Err(), freeing its slot and pool workers mid-scan;
+//   - a panic anywhere in the session pipeline is recovered into
+//     ErrInternal (errors.Is; the *InternalError carries the stack), the
+//     poisoned scan workspace is discarded, and a replacement is
+//     re-prewarmed — the service keeps serving.
+func (s *AuthService) AuthenticateContext(ctx context.Context, req Request) (*core.Result, error) {
+	if err := validateRequest(req); err != nil {
+		return nil, err
+	}
+	// Chaos hook: lets tests and piano-serve perturb admission itself
+	// (delay → queue pressure, error → forced shed).
+	if err := faultinject.Fire(faultinject.SiteServiceAcquire); err != nil {
+		return nil, err
+	}
+	if err := s.begin(ctx); err != nil {
 		return nil, err
 	}
 	defer s.end()
+
+	res, err := s.runSession(ctx, req)
+	if err != nil {
+		// Panics recovered inside the scan engine or the per-device
+		// detection goroutines arrive as *detect.PanicError; fold them
+		// into the service's typed internal error.
+		var pe *detect.PanicError
+		if errors.As(err, &pe) {
+			err = &InternalError{Panic: pe.Value, Stack: pe.Stack}
+		}
+		if errors.Is(err, ErrInternal) {
+			s.replenish()
+		}
+		return nil, err
+	}
+	s.mu.Lock()
+	s.sessions++
+	s.mu.Unlock()
+	return res, nil
+}
+
+// runSession executes the admitted session. Panic isolation for the
+// session goroutine itself lives here: whatever the pipeline panics with
+// (world render, protocol plumbing, an injected fault) is recovered into a
+// typed *InternalError instead of crashing the process, and the shared
+// detector/pool stay serviceable.
+func (s *AuthService) runSession(ctx context.Context, req Request) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &InternalError{Panic: r, Stack: debug.Stack()}
+		}
+	}()
+	// Chaos hook: a panic here simulates a session-goroutine crash; a
+	// delay holds a session slot (slot starvation for queued requests).
+	if err := faultinject.Fire(faultinject.SiteServiceSession); err != nil {
+		return nil, err
+	}
 
 	cfg := s.sessionConfig(req)
 
@@ -235,18 +442,32 @@ func (s *AuthService) Authenticate(req Request) (*core.Result, error) {
 			return nil, fmt.Errorf("service: %w", err)
 		}
 	}
-	res, err := a.Authenticate(plays...)
+	res, err = a.AuthenticateContext(ctx, plays...)
 	if err != nil {
+		// Cancellation comes back as ctx.Err() itself, not wrapped in scan
+		// provenance: the caller canceled, so "which device's scan noticed
+		// first" is scheduling noise, and the bare sentinel is what callers
+		// compare against.
+		if ctxe := ctx.Err(); ctxe != nil && errors.Is(err, ctxe) {
+			return nil, ctxe
+		}
 		return nil, fmt.Errorf("service: %w", err)
 	}
-	s.mu.Lock()
-	s.sessions++
-	s.mu.Unlock()
 	return res, nil
 }
 
-// Close drains in-flight sessions and stops the worker pool. Subsequent
-// Authenticate calls return ErrClosed. Close is idempotent.
+// replenish rebuilds one prewarmed scan workspace after a panic poisoned
+// and discarded one, restoring the steady-state "no cold-start
+// allocations" property chaos would otherwise erode. Best-effort: if it
+// fails, the next scan simply rebuilds its own scratch on checkout.
+func (s *AuthService) replenish() {
+	_ = s.det.Prewarm(s.cfg.Core.Signal, 1)
+}
+
+// Close stops admission, sheds every request still waiting for a session
+// slot (they return ErrClosed), drains the sessions already admitted, and
+// stops the worker pool. Subsequent Authenticate calls return ErrClosed.
+// Close is idempotent.
 func (s *AuthService) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -254,6 +475,11 @@ func (s *AuthService) Close() {
 		return
 	}
 	s.closed = true
+	// Wake every waiter parked on the slot queue before draining: a
+	// goroutine already counted in inFlight but not yet holding a slot
+	// must shed, or inFlight.Wait would admit it mid-drain (or deadlock
+	// behind sessions that never free enough slots).
+	close(s.draining)
 	s.mu.Unlock()
 	s.inFlight.Wait()
 	s.pool.Close()

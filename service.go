@@ -1,11 +1,29 @@
 package piano
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/acoustic-auth/piano/internal/acoustic"
 	"github.com/acoustic-auth/piano/internal/core"
 	"github.com/acoustic-auth/piano/internal/service"
+)
+
+// Typed service failure modes, re-exported from the service
+// implementation; match with errors.Is. See ARCHITECTURE.md "Failure
+// semantics" for the full taxonomy (these plus ctx.Err() passthrough).
+var (
+	// ErrClosed: the request arrived (or was still queued) after Close
+	// began draining.
+	ErrClosed = service.ErrClosed
+	// ErrOverloaded: admission control shed the request — the service was
+	// saturated past MaxQueueWait/MaxQueueDepth. Back off and retry.
+	ErrOverloaded = service.ErrOverloaded
+	// ErrInternal: the session died to a recovered panic; the service
+	// itself keeps serving. The *service.InternalError in the chain
+	// carries the panic value and stack.
+	ErrInternal = service.ErrInternal
 )
 
 // ServiceConfig configures a long-lived authentication Service.
@@ -19,8 +37,16 @@ type ServiceConfig struct {
 	// Workers sizes the shared detection worker pool. Default: GOMAXPROCS.
 	Workers int
 	// MaxSessions bounds how many sessions run concurrently; further
-	// Authenticate calls block until a slot frees. Default: 4 × Workers.
+	// Authenticate calls wait for a slot. Default: 4 × Workers.
 	MaxSessions int
+	// MaxQueueWait bounds how long a request may wait for a session slot
+	// before being shed with ErrOverloaded. Default (0): wait
+	// indefinitely (a request context can still cancel the wait).
+	MaxQueueWait time.Duration
+	// MaxQueueDepth bounds how many requests may queue for a slot at
+	// once; requests beyond it shed immediately with ErrOverloaded.
+	// Default (0): unbounded.
+	MaxQueueDepth int
 }
 
 // DefaultServiceConfig mirrors DefaultConfig for the service surface:
@@ -72,9 +98,11 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	coreCfg.World.Environment = cfg.Environment.internal()
 	coreCfg.ThresholdM = cfg.ThresholdM
 	svc, err := service.New(service.Config{
-		Core:        coreCfg,
-		Workers:     cfg.Workers,
-		MaxSessions: cfg.MaxSessions,
+		Core:          coreCfg,
+		Workers:       cfg.Workers,
+		MaxSessions:   cfg.MaxSessions,
+		MaxQueueWait:  cfg.MaxQueueWait,
+		MaxQueueDepth: cfg.MaxQueueDepth,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("piano: %w", err)
@@ -84,11 +112,28 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 
 // Authenticate runs one complete PIANO session for the requested device
 // pair and returns the access decision. Safe to call from any number of
-// goroutines; calls beyond the configured concurrency bound block until a
-// session slot frees up.
+// goroutines; calls beyond the configured concurrency bound wait for a
+// session slot (subject to MaxQueueWait/MaxQueueDepth). It is
+// AuthenticateContext with an uncancellable context.
 func (s *Service) Authenticate(req AuthRequest) (*Decision, error) {
+	return s.AuthenticateContext(context.Background(), req)
+}
+
+// AuthenticateContext is Authenticate under a context: cancellation is
+// cooperative (observed between protocol steps and between scan hop
+// blocks), so an abandoned call frees its session slot and pool workers
+// mid-scan and returns ctx.Err(). Sessions that complete are bit-identical
+// to uncancelled runs. Typed failures: ErrOverloaded (admission shed),
+// ErrClosed (service draining/closed), ErrInternal (recovered panic; the
+// service keeps serving).
+func (s *Service) AuthenticateContext(ctx context.Context, req AuthRequest) (*Decision, error) {
 	var env acoustic.Environment
 	if req.Environment != 0 {
+		// Validate at the public enum before the internal conversion,
+		// which would otherwise silently map unknown values to Quiet.
+		if req.Environment < Quiet || req.Environment > Street {
+			return nil, fmt.Errorf("piano: unknown environment %d (known: Quiet through Street, or 0 for the service default)", int(req.Environment))
+		}
 		env = req.Environment.internal()
 	}
 	conv := func(d DeviceSpec) service.DeviceSpec {
@@ -104,8 +149,14 @@ func (s *Service) Authenticate(req AuthRequest) (*Decision, error) {
 	for _, in := range req.Interferers {
 		sreq.Interferers = append(sreq.Interferers, conv(in))
 	}
-	res, err := s.svc.Authenticate(sreq)
+	res, err := s.svc.AuthenticateContext(ctx, sreq)
 	if err != nil {
+		// The typed sentinels and ctx.Err() pass through unwrapped so
+		// callers can match them directly; anything else gets the usual
+		// package prefix.
+		if ctxe := ctx.Err(); ctxe != nil && err == ctxe {
+			return nil, err
+		}
 		return nil, fmt.Errorf("piano: %w", err)
 	}
 	dec := &Decision{Granted: res.Granted, Reason: res.Reason, DistanceM: res.DistanceM}
