@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-chaos bench bench-smoke bench-auth bench-detect bench-fine bench-render bench-service cover docs-check clean
+.PHONY: all build vet test test-race test-chaos bench bench-smoke bench-auth bench-detect bench-fine bench-render bench-service bench-online cover docs-check clean
 
 all: vet build test
 
@@ -58,6 +58,12 @@ bench-detect:
 # path (BENCH_finescan.json / PERFORMANCE.md).
 bench-fine:
 	$(GO) test -run '^$$' -bench 'BenchmarkDetectAllFine|BenchmarkDetectAllPCM' -benchmem -count=3 -benchtime 5x ./internal/detect/
+
+# The online streaming session: decision latency from the last needed
+# sample's arrival, streaming replay of the full recording, and the batch
+# path on the same request (BENCH_online.json / PERFORMANCE.md).
+bench-online:
+	$(GO) test -run '^$$' -bench 'BenchmarkOnline' -benchmem -count=3 -benchtime 10x .
 
 # The acoustic renderer: per-tap (RenderNaive oracle) vs composite-kernel
 # mixing, interleaved A/B at several tap counts (BENCH_render.json /

@@ -81,6 +81,133 @@ func shedCategory(err error) string {
 	}
 }
 
+// runStreamDemo drives the online session API with simulated live
+// microphones: each role's audio arrives in chunk-ms chunks at stream-pace
+// times real time, and the session decides the moment both recordings have
+// revealed their signals — while the tails are still "being recorded". For
+// every session it verifies the early decision against the batch path and
+// reports the time-to-decision both ways.
+func runStreamDemo(ctx context.Context, w io.Writer, reqs []piano.AuthRequest, workers int, pace float64, chunkMS int) error {
+	if chunkMS <= 0 {
+		return fmt.Errorf("chunk-ms must be positive, got %d", chunkMS)
+	}
+	svcCfg := piano.DefaultServiceConfig()
+	svcCfg.Workers = workers
+	svc, err := piano.NewService(svcCfg)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	// The session devices' nominal sampling rate (piano.DeviceSpec pairs
+	// run at the prototype's 44.1 kHz).
+	const rate = 44100.0
+	chunk := int(rate * float64(chunkMS) / 1000)
+	fmt.Fprintf(w, "piano-serve -stream: %d sessions, %d ms chunks (%d samples), pace %gx real time\n\n",
+		len(reqs), chunkMS, chunk, pace)
+
+	roles := []piano.Role{piano.RoleAuth, piano.RoleVouch}
+	var sumAudio, sumFull, sumStreamWall, sumBatchWall float64
+	done := 0
+	for i, req := range reqs {
+		if ctx.Err() != nil {
+			break
+		}
+		// Batch reference: the decision and its wall-clock scan time once
+		// the full recording exists.
+		batchStart := time.Now()
+		ref, err := svc.Authenticate(req)
+		if err != nil {
+			return err
+		}
+		batchWall := time.Since(batchStart)
+
+		sess, err := svc.OpenSessionContext(ctx, req)
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			return err
+		}
+		at := map[piano.Role]int{}
+		start := time.Now()
+		var dec *piano.Decision
+		for dec == nil {
+			if pace > 0 {
+				time.Sleep(time.Duration(float64(chunkMS) / pace * float64(time.Millisecond)))
+			}
+			fedAny := false
+			for _, role := range roles {
+				rec := sess.Recording(role)
+				if at[role] >= len(rec) {
+					continue
+				}
+				end := at[role] + chunk
+				if end > len(rec) {
+					end = len(rec)
+				}
+				if err := sess.Feed(role, rec[at[role]:end]); err != nil {
+					if ctx.Err() != nil {
+						fmt.Fprintf(w, "interrupted: %d/%d streamed sessions completed\n", done, len(reqs))
+						return nil
+					}
+					return err
+				}
+				at[role] = end
+				fedAny = true
+			}
+			d, need, err := sess.TryResult()
+			if err != nil {
+				if ctx.Err() != nil {
+					fmt.Fprintf(w, "interrupted: %d/%d streamed sessions completed\n", done, len(reqs))
+					return nil
+				}
+				return err
+			}
+			if need == 0 {
+				dec = d
+			} else if !fedAny {
+				return fmt.Errorf("session %d: undecided after the full feed (need %d)", i, need)
+			}
+		}
+		streamWall := time.Since(start)
+
+		if dec.Granted != ref.Granted || dec.Reason != ref.Reason ||
+			math.Float64bits(dec.DistanceM) != math.Float64bits(ref.DistanceM) {
+			return fmt.Errorf("session %d: streamed decision %+v diverged from batch %+v", i, dec, ref)
+		}
+
+		audioSec := math.Max(float64(at[piano.RoleAuth]), float64(at[piano.RoleVouch])) / rate
+		fullSec := math.Max(float64(len(sess.Recording(piano.RoleAuth))), float64(len(sess.Recording(piano.RoleVouch)))) / rate
+		sumAudio += audioSec
+		sumFull += fullSec
+		sumStreamWall += streamWall.Seconds()
+		sumBatchWall += batchWall.Seconds()
+		done++
+		fmt.Fprintf(w, "  session %2d: %-45s decided on %4.0f of %4.0f ms of audio (%.0f%%)\n",
+			i, dec.Reason, audioSec*1e3, fullSec*1e3, 100*audioSec/fullSec)
+	}
+	if ctx.Err() != nil && done < len(reqs) {
+		fmt.Fprintf(w, "interrupted: %d/%d streamed sessions completed\n", done, len(reqs))
+		return nil
+	}
+
+	if done == 0 {
+		fmt.Fprintln(w, "no sessions to stream")
+		return nil
+	}
+	n := float64(done)
+	fmt.Fprintf(w, "\nall %d streamed decisions bit-identical to the batch path\n", done)
+	fmt.Fprintf(w, "time-to-decision (audio):  streaming %6.0f ms avg vs %6.0f ms full recording (%.0f%% saved)\n",
+		sumAudio/n*1e3, sumFull/n*1e3, 100*(1-sumAudio/sumFull))
+	fmt.Fprintf(w, "wall clock per session:    streaming %6.1f ms avg (paced %gx), batch scan-after-the-fact %6.1f ms\n",
+		sumStreamWall/n*1e3, pace, sumBatchWall/n*1e3)
+	fmt.Fprintln(w, "\n(a batch deployment must wait out the whole recording before scanning;")
+	fmt.Fprintln(w, " the streaming session scans as audio arrives and decides at the protocol")
+	fmt.Fprintln(w, " horizon — see ARCHITECTURE.md \"Online session\" and BENCH_online.json)")
+	return nil
+}
+
 func runCtx(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("piano-serve", flag.ContinueOnError)
 	sessions := fs.Int("sessions", 8, "number of authentication sessions in the burst")
@@ -88,10 +215,17 @@ func runCtx(ctx context.Context, w io.Writer, args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight sessions to drain")
 	chaos := fs.Bool("chaos", false, "inject faults (admission stalls, session panics, slow scans) into the service pass")
 	chaosSeed := fs.Int64("chaos-seed", 42, "fault-injection RNG seed (with -chaos)")
+	stream := fs.Bool("stream", false, "run the online streaming demo: chunked live-microphone arrival, decide before the recording ends")
+	streamPace := fs.Float64("stream-pace", 1.0, "audio arrival speed as a multiple of real time (0 = feed as fast as possible; with -stream)")
+	chunkMS := fs.Int("chunk-ms", 20, "simulated microphone chunk size in milliseconds (with -stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	reqs := workload(*sessions)
+
+	if *stream {
+		return runStreamDemo(ctx, w, reqs, *workers, *streamPace, *chunkMS)
+	}
 
 	fmt.Fprintf(w, "piano-serve: %d sessions, %d cores\n\n", len(reqs), runtime.GOMAXPROCS(0))
 

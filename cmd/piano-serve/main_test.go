@@ -22,6 +22,35 @@ func TestRunServeSmoke(t *testing.T) {
 	}
 }
 
+// TestRunServeStreamSmoke: the -stream demo must decide every session early
+// (before the full recording is fed), match the batch path, and say so.
+func TestRunServeStreamSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-stream", "-stream-pace", "0", "-sessions", "3", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"bit-identical to the batch path", "time-to-decision", "% saved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "(100%)") {
+		t.Errorf("a session only decided at the full recording:\n%s", out)
+	}
+}
+
+// TestRunServeStreamInterrupt: cancellation mid-stream must report and exit
+// cleanly, not error.
+func TestRunServeStreamInterrupt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := runCtx(ctx, &buf, []string{"-stream", "-stream-pace", "0", "-sessions", "2"}); err != nil {
+		t.Fatalf("interrupted stream run errored: %v\n%s", err, buf.String())
+	}
+}
+
 func TestRunServeBadFlags(t *testing.T) {
 	if err := run(&bytes.Buffer{}, []string{"-sessions", "x"}); err == nil {
 		t.Fatal("bad flag accepted")

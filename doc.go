@@ -43,6 +43,28 @@
 //	    Seed:  42,
 //	})
 //
+// # Deciding while the audio arrives
+//
+// Authenticate scans a complete recording after the fact. The streaming
+// session decides while the audio is still arriving: OpenSession runs the
+// protocol's setup steps, then each role's PCM is fed in chunks of any
+// size — a live microphone callback shape — and TryResult returns the
+// decision as soon as both devices have heard everything that can matter
+// (typically well before the recording ends), bit-identical to the batch
+// decision for the same request no matter how the audio was chunked:
+//
+//	sess, err := svc.OpenSession(req)
+//	...
+//	for !decided {
+//	    sess.Feed(piano.RoleAuth, nextChunkA)
+//	    sess.Feed(piano.RoleVouch, nextChunkV)
+//	    dec, need, err := sess.TryResult()
+//	    decided = err == nil && need == 0
+//	}
+//
+// ARCHITECTURE.md's "The online session" section explains the early
+// horizon; cmd/piano-serve's -stream flag demonstrates it live.
+//
 // # Under the hood
 //
 // Each session renders a seeded acoustic scene (internal/world) through the

@@ -175,8 +175,17 @@ func (a *Authenticator) AuthenticateContext(ctx context.Context, extras ...Extra
 	if err != nil {
 		return nil, err
 	}
+	return a.decide(sr), nil
+}
+
+// decide maps one completed ACTION run onto the access decision: deny on ⊥,
+// grant iff the estimated distance ≤ τ. Shared verbatim between the batch
+// path (AuthenticateContext) and the streaming path (AuthStream), so a
+// streamed session's decision is byte-identical to the batch decision for
+// the same SessionResult.
+func (a *Authenticator) decide(sr *SessionResult) *Result {
 	if !sr.Found {
-		return &Result{Granted: false, Reason: ReasonSignalAbsent, Session: sr}, nil
+		return &Result{Granted: false, Reason: ReasonSignalAbsent, Session: sr}
 	}
 	if sr.DistanceM > a.cfg.ThresholdM {
 		return &Result{
@@ -184,14 +193,14 @@ func (a *Authenticator) AuthenticateContext(ctx context.Context, extras ...Extra
 			Reason:    ReasonDistanceExceedsThreshold,
 			DistanceM: sr.DistanceM,
 			Session:   sr,
-		}, nil
+		}
 	}
 	return &Result{
 		Granted:   true,
 		Reason:    ReasonGranted,
 		DistanceM: sr.DistanceM,
 		Session:   sr,
-	}, nil
+	}
 }
 
 // account books one session's energy into the attached ledger/battery.

@@ -12,6 +12,15 @@
 // protocol in the paper's Algorithm 1 decision rule with the τ threshold;
 // ExtraPlay injects interferers and attackers into the scene.
 //
+// OpenACTIONStream is the online form of the same session: Steps I–III
+// run eagerly, then Step IV consumes each role's PCM in chunks
+// (SessionStream.Feed) through detect.Stream, and TryResult finalizes
+// Steps V–VI once every role has fed past its early horizon — the sample
+// index by which all scheduled playbacks plus worst-case propagation have
+// provably passed, which is what makes the early decision bit-identical
+// to the batch RunACTIONWith result. AuthStream wraps it in the
+// Authenticator decision rule.
+//
 // Invariants: a session's rng must be private to it — every draw happens in
 // a fixed sequential order, which is what makes a seeded session
 // reproducible and concurrent service sessions bit-identical to serial

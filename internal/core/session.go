@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"github.com/acoustic-auth/piano/internal/acoustic"
+	"github.com/acoustic-auth/piano/internal/audio"
 	"github.com/acoustic-auth/piano/internal/bluetooth"
 	"github.com/acoustic-auth/piano/internal/detect"
 	"github.com/acoustic-auth/piano/internal/device"
@@ -157,6 +158,36 @@ func RunACTION(
 	return RunACTIONWith(SessionDeps{}, cfg, auth, vouch, linkAuth, linkVouch, rng, extras)
 }
 
+// sessionPrep carries a session from the end of Step III (scene rendered,
+// recordings in hand) to Steps IV–VI. Splitting the pipeline here is what
+// lets Step IV run either as the batch scan (RunACTIONWith) or as the
+// incremental per-device feed (SessionStream) over identical state: both
+// paths share prepareACTION and finishACTION verbatim, so every RNG draw
+// and every arithmetic step outside Step IV is common by construction.
+type sessionPrep struct {
+	deps SessionDeps
+	cfg  Config
+
+	auth, vouch         *device.Device
+	linkAuth, linkVouch *bluetooth.Link
+	rng                 *rand.Rand
+
+	// The authenticating device's constructed signals and the vouching
+	// device's decoded copies (Step II ships descriptors, not samples).
+	sigA, sigV           *sigref.Signal
+	vouchSigA, vouchSigV *sigref.Signal
+
+	// recs are the rendered per-device recordings.
+	recs map[*device.Device]*audio.Buffer
+	det  *detect.Detector
+
+	// Timeline (global seconds): latencies, play commands, recording end.
+	lat1, lat2   float64
+	playA, playV float64
+	sigDur       float64
+	recEnd       float64
+}
+
 // RunACTIONWith is RunACTION with injected service context (see
 // SessionDeps). The rng must be private to this session: every draw it
 // makes (signal construction, latency and processing-delay realizations,
@@ -172,6 +203,31 @@ func RunACTIONWith(
 	rng *rand.Rand,
 	extras []ExtraPlay,
 ) (*SessionResult, error) {
+	p, err := prepareACTION(deps, cfg, auth, vouch, linkAuth, linkVouch, rng, extras)
+	if err != nil {
+		return nil, err
+	}
+	resAuth, resVouch, err := p.detectBatch()
+	if err != nil {
+		return nil, err
+	}
+	return p.finishACTION(resAuth, resVouch)
+}
+
+// prepareACTION runs Steps I–III: signal construction, the descriptor
+// exchange, the session timeline, and the rendered acoustic scene. It
+// consumes RNG draws in the exact order the historical monolithic pipeline
+// did (signal draws, link latencies, processing delays, world/channel
+// draws, extra-play schedules), which is what keeps both Step-IV engines
+// bit-identical to each other and to earlier releases.
+func prepareACTION(
+	deps SessionDeps,
+	cfg Config,
+	auth, vouch *device.Device,
+	linkAuth, linkVouch *bluetooth.Link,
+	rng *rand.Rand,
+	extras []ExtraPlay,
+) (*sessionPrep, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -187,8 +243,6 @@ func RunACTIONWith(
 	if err := ctxErr(deps.Ctx); err != nil {
 		return nil, err
 	}
-
-	res := &SessionResult{}
 
 	// --- Step I: the authenticating device constructs S_A and S_V. ---
 	sigA, err := sigref.New(cfg.Signal, rng)
@@ -330,24 +384,43 @@ func RunACTIONWith(
 		return nil, err
 	}
 
-	// --- Step IV: each device locates both signals in its recording. ---
-	// The two devices detect independently on real hardware, so the session
-	// pipeline runs their scans in parallel goroutines; each scan is
-	// deterministic, so the session result stays bit-identical to the
-	// sequential pipeline. A service-injected detector batches these scans
-	// through its shared worker pool instead of per-session machinery.
-	if err := ctxErr(deps.Ctx); err != nil {
-		return nil, err
-	}
 	det := deps.Detector
 	if det == nil {
-		var err error
 		det, err = detect.New(cfg.Detect)
 		if err != nil {
 			return nil, err
 		}
 	}
-	var resAuth, resVouch []detect.Result
+	return &sessionPrep{
+		deps: deps, cfg: cfg,
+		auth: auth, vouch: vouch,
+		linkAuth: linkAuth, linkVouch: linkVouch,
+		rng:  rng,
+		sigA: sigA, sigV: sigV,
+		vouchSigA: vouchSigA, vouchSigV: vouchSigV,
+		recs: recs, det: det,
+		lat1: lat1, lat2: lat2,
+		playA: playA, playV: playV,
+		sigDur: sigDur, recEnd: recEnd,
+	}, nil
+}
+
+// detectBatch is the batch form of Step IV: each device locates both
+// signals in its complete recording. The two devices detect independently
+// on real hardware, so the session pipeline runs their scans in parallel
+// goroutines; each scan is deterministic, so the session result stays
+// bit-identical to the sequential pipeline. A service-injected detector
+// batches these scans through its shared worker pool instead of
+// per-session machinery.
+func (p *sessionPrep) detectBatch() (resAuth, resVouch []detect.Result, err error) {
+	if err := ctxErr(p.deps.Ctx); err != nil {
+		return nil, nil, err
+	}
+	deps, cfg, det := p.deps, p.cfg, p.det
+	auth, vouch := p.auth, p.vouch
+	sigA, sigV := p.sigA, p.sigV
+	vouchSigA, vouchSigV := p.vouchSigA, p.vouchSigV
+	recs := p.recs
 	var errAuth, errVouch error
 	var wg sync.WaitGroup
 	wg.Add(2)
@@ -412,15 +485,28 @@ func RunACTIONWith(
 	}
 	wg.Wait()
 	if errAuth != nil {
-		return nil, errAuth
+		return nil, nil, errAuth
 	}
 	if errVouch != nil {
-		return nil, errVouch
+		return nil, nil, errVouch
 	}
+	return resAuth, resVouch, nil
+}
 
+// finishACTION runs Steps V–VI over the four detection results: the
+// vouching device's location-difference report (one Bluetooth exchange,
+// the session's final RNG draw) and the Eq. 3 distance estimate with its
+// plausibility gate. It must run exactly once per session — the Step-V
+// latency draw advances the session RNG stream.
+func (p *sessionPrep) finishACTION(resAuth, resVouch []detect.Result) (*SessionResult, error) {
+	cfg, rng := p.cfg, p.rng
+	auth, vouch := p.auth, p.vouch
+	linkAuth, linkVouch := p.linkAuth, p.linkVouch
+
+	res := &SessionResult{}
 	res.WindowsScanned = resAuth[0].WindowsScanned + resAuth[1].WindowsScanned - resAuth[0].CoarseScanned
 	res.RecordSeconds = cfg.World.DurationSec
-	res.PlaySeconds = sigDur
+	res.PlaySeconds = p.sigDur
 	res.DetectSeconds = float64(res.WindowsScanned) * cfg.PhoneFFTSec
 
 	// --- Step V: vouching device reports its local difference. ---
@@ -442,8 +528,8 @@ func RunACTIONWith(
 		return nil, err
 	}
 
-	res.BTSeconds = lat1 + lat2 + latBack
-	res.AuthTimeSec = cfg.SigConstructSec + res.BTSeconds + (recEnd - 0) + res.DetectSeconds
+	res.BTSeconds = p.lat1 + p.lat2 + latBack
+	res.AuthTimeSec = cfg.SigConstructSec + res.BTSeconds + (p.recEnd - 0) + res.DetectSeconds
 
 	// ⊥ anywhere denies the authentication (Algorithm 1 line 13).
 	switch {

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"github.com/acoustic-auth/piano/internal/acoustic"
+	"github.com/acoustic-auth/piano/internal/bluetooth"
+	"github.com/acoustic-auth/piano/internal/detect"
+	"github.com/acoustic-auth/piano/internal/device"
+	"github.com/acoustic-auth/piano/internal/sigref"
+)
+
+// Role names one of the two protocol participants in a streaming session:
+// each role feeds its own microphone's PCM independently.
+type Role int
+
+// The two ACTION participants.
+const (
+	// RoleAuth is the authenticating device (detects S_A then S_V in its
+	// own recording).
+	RoleAuth Role = iota
+	// RoleVouch is the vouching device.
+	RoleVouch
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleAuth:
+		return "auth"
+	case RoleVouch:
+		return "vouch"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+func (r Role) valid() bool { return r == RoleAuth || r == RoleVouch }
+
+// ErrStreamDecided is returned by Feed once a streaming session has reached
+// its decision: the session finalization (Step V's Bluetooth exchange draws
+// from the session RNG) runs exactly once, so audio arriving after it can
+// never alter the result and is rejected instead of silently dropped.
+var ErrStreamDecided = errors.New("core: streaming session already decided")
+
+// earlySlack pads the per-role decision horizon by a few samples against
+// clock-skew rounding at the horizon boundary (one sliding-DFT resync block
+// is far more than enough).
+const earlySlack = 64
+
+// SessionStream is the incremental form of RunACTIONWith: Steps I–III run
+// up front exactly as in the batch pipeline (same RNG draw order, same
+// rendered scene), but Step IV consumes each device's PCM in chunks as the
+// audio "arrives" and the session can decide as soon as both recordings
+// have revealed their signals — before either recording is complete.
+//
+// Determinism contract: feeding each role its complete recording — in
+// chunks of any size, including all at once — and calling TryResult yields
+// a SessionResult bit-identical to RunACTIONWith over the same inputs, at
+// any GOMAXPROCS. Deciding at the EarlyFeedLen horizon yields that same
+// result whenever the tail of each recording contains no window that both
+// passes the α/β sanity checks and beats the scanned maximum — guaranteed
+// for protocol-compliant schedules, where the horizon covers every sample
+// the batch fine scan can touch (see EarlyFeedLen).
+//
+// A SessionStream serializes its own methods; the two roles may be fed
+// from separate goroutines.
+type SessionStream struct {
+	p *sessionPrep
+
+	mu      sync.Mutex
+	streams [2]*detect.Stream
+	rec     [2][]int16
+	early   [2]int
+	done    bool
+	res     *SessionResult
+	err     error
+}
+
+// OpenACTIONStream runs Steps I–III of a session (signal construction,
+// descriptor exchange, timeline, scene render) and returns a stream that
+// performs Step IV incrementally. Only the frequency-detection pipeline
+// streams; the ACTION-CC baseline is batch-only. See RunACTIONWith for the
+// rng contract.
+func OpenACTIONStream(
+	deps SessionDeps,
+	cfg Config,
+	auth, vouch *device.Device,
+	linkAuth, linkVouch *bluetooth.Link,
+	rng *rand.Rand,
+	extras []ExtraPlay,
+) (*SessionStream, error) {
+	if cfg.Mode != DetectFrequency {
+		return nil, errors.New("core: streaming sessions require the frequency-detection mode")
+	}
+	p, err := prepareACTION(deps, cfg, auth, vouch, linkAuth, linkVouch, rng, extras)
+	if err != nil {
+		return nil, err
+	}
+	ss := &SessionStream{p: p}
+	devs := [2]*device.Device{p.auth, p.vouch}
+	sigs := [2][2]*sigref.Signal{{p.sigA, p.sigV}, {p.vouchSigA, p.vouchSigV}}
+	for r, dev := range devs {
+		pcm := p.recs[dev].Samples
+		st, err := p.det.NewStream(len(pcm), sigs[r][0], sigs[r][1])
+		if err != nil {
+			return nil, err
+		}
+		ss.streams[r] = st
+		ss.rec[r] = pcm
+		ss.early[r] = earlyFeedLen(dev, cfg, p, len(pcm))
+	}
+	return ss, nil
+}
+
+// earlyFeedLen computes one role's decision horizon: the sample index in
+// that device's recording past which the schedule guarantees no reference
+// signal energy remains, plus everything the batch fine scan can touch
+// beyond a coarse argmax there (± CoarseStep, one window length), plus a
+// small resync slack. The last acoustic arrival ends by
+// max(playA, playV) + signal duration + the maximum propagation delay
+// inside Bluetooth range (prepareACTION rejects schedules that overrun the
+// recording), so every coarse window the batch argmax can select starts at
+// or before that instant on the device's own skewed clock.
+func earlyFeedLen(dev *device.Device, cfg Config, p *sessionPrep, total int) int {
+	maxProp := cfg.BTRangeM / acoustic.SpeedOfSoundMPS
+	lastGlobal := math.Max(p.playA, p.playV) + p.sigDur + maxProp
+	idxEnd := int(math.Ceil(dev.Clock().SampleAt(lastGlobal)))
+	early := idxEnd + cfg.Detect.CoarseStep + cfg.Signal.Length + earlySlack
+	if early > total {
+		early = total
+	}
+	if early < cfg.Signal.Length {
+		early = cfg.Signal.Length
+	}
+	return early
+}
+
+// Recording returns the role's complete rendered recording — the simulated
+// microphone the caller feeds chunks from. The slice is the session's own;
+// callers must not mutate it.
+func (ss *SessionStream) Recording(role Role) []int16 {
+	if !role.valid() {
+		return nil
+	}
+	return ss.rec[role]
+}
+
+// EarlyFeedLen returns the role's decision horizon in samples: once at
+// least this much of each role's recording has been fed, TryResult decides
+// without waiting for the rest (and equals the batch result for compliant
+// schedules). Feeding less MAY already suffice; feeding the full recording
+// always does.
+func (ss *SessionStream) EarlyFeedLen(role Role) int {
+	if !role.valid() {
+		return 0
+	}
+	return ss.early[role]
+}
+
+// Fed returns how many samples of the role's recording have arrived.
+func (ss *SessionStream) Fed(role Role) int {
+	if !role.valid() {
+		return 0
+	}
+	return ss.streams[role].Fed()
+}
+
+// Feed appends a chunk of the role's recording and advances that role's
+// coarse scan over exactly the windows the chunk completed. After the
+// session has decided, Feed reports ErrStreamDecided. An over-length chunk
+// is rejected whole with detect.ErrFeedOverflow (match with errors.Is),
+// leaving the stream usable. Scan errors (cancellation via the session
+// deps' context, a recovered worker panic) leave the audio ingested with
+// the scan resumable.
+func (ss *SessionStream) Feed(role Role, pcm []int16) error {
+	if !role.valid() {
+		return fmt.Errorf("core: unknown stream role %d", int(role))
+	}
+	ss.mu.Lock()
+	done := ss.done
+	ss.mu.Unlock()
+	if done {
+		return ErrStreamDecided
+	}
+	return ss.streams[role].Feed(ss.p.deps.Ctx, pcm)
+}
+
+// TryResult attempts the session decision over the audio fed so far.
+//
+// A role is ready once it has been fed to its EarlyFeedLen horizon (the
+// point past which the schedule guarantees no signal energy remains — a
+// full feed always qualifies) and every candidate's fine band has arrived.
+// When both roles are ready, TryResult runs the fine scans and Steps V–VI
+// exactly once, caches the SessionResult, and returns it with need 0 —
+// every later call returns the cached result. Otherwise it returns a nil
+// result and the largest number of additional samples some role still
+// needs (need > 0, nil error). Gating the decision on the horizon — not
+// merely on the scan engine having enough audio for a local answer — is
+// what makes the early decision equal to the batch oracle rather than a
+// guess from a prefix. Errors from the scan engine (cancellation,
+// worker panics as *detect.PanicError) are returned without deciding; the
+// session remains resumable.
+func (ss *SessionStream) TryResult() (*SessionResult, int, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.done {
+		return ss.res, 0, ss.err
+	}
+	var roleRes [2][]detect.Result
+	need := 0
+	for r := range ss.streams {
+		res, n, err := ss.streams[r].Results(ss.p.deps.Ctx)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: streaming detect (%s role): %w", Role(r), err)
+		}
+		if hn := ss.early[r] - ss.streams[r].Fed(); hn > n {
+			n = hn
+		}
+		if n > need {
+			need = n
+		}
+		roleRes[r] = res
+	}
+	if need > 0 {
+		return nil, need, nil
+	}
+	// Finalize exactly once: Step V draws the report latency from the
+	// session RNG, so re-running it would fork the deterministic stream.
+	ss.res, ss.err = ss.p.finishACTION(roleRes[RoleAuth], roleRes[RoleVouch])
+	ss.done = true
+	return ss.res, 0, ss.err
+}
+
+// AuthStream wraps a SessionStream in the authentication phase's decision
+// logic: the Bluetooth reachability pre-check, the τ threshold, and energy
+// accounting — the streaming twin of Authenticator.AuthenticateContext,
+// sharing its decide step verbatim.
+type AuthStream struct {
+	a  *Authenticator
+	ss *SessionStream // nil when pre-decided (Bluetooth out of range)
+
+	mu   sync.Mutex
+	done bool
+	res  *Result
+	err  error
+}
+
+// OpenStream opens a streaming authentication session (uncancellable form).
+func (a *Authenticator) OpenStream(extras ...ExtraPlay) (*AuthStream, error) {
+	return a.OpenStreamContext(nil, extras...)
+}
+
+// OpenStreamContext opens a streaming authentication session. Steps I–III
+// run now; audio is then fed per role with Feed, and TryResult yields the
+// decision as soon as both recordings have revealed their signals. The ctx
+// cancels cooperatively exactly as in AuthenticateContext. When the
+// vouching device is out of Bluetooth range the stream is born decided:
+// TryResult immediately returns the denial, and Feed reports
+// ErrStreamDecided.
+func (a *Authenticator) OpenStreamContext(ctx context.Context, extras ...ExtraPlay) (*AuthStream, error) {
+	if !a.linkAuth.InRange() {
+		return &AuthStream{
+			a:    a,
+			done: true,
+			res:  &Result{Granted: false, Reason: ReasonBluetoothOutOfRange},
+		}, nil
+	}
+	ss, err := OpenACTIONStream(SessionDeps{Detector: a.det, Ctx: ctx}, a.cfg, a.auth, a.vouch, a.linkAuth, a.linkVouch, a.rng, extras)
+	if err != nil {
+		return nil, err
+	}
+	return &AuthStream{a: a, ss: ss}, nil
+}
+
+// Recording returns the role's complete rendered recording (nil when the
+// stream was pre-decided without running ACTION).
+func (as *AuthStream) Recording(role Role) []int16 {
+	if as.ss == nil {
+		return nil
+	}
+	return as.ss.Recording(role)
+}
+
+// EarlyFeedLen returns the role's decision horizon (0 when pre-decided).
+func (as *AuthStream) EarlyFeedLen(role Role) int {
+	if as.ss == nil {
+		return 0
+	}
+	return as.ss.EarlyFeedLen(role)
+}
+
+// Fed returns how many samples of the role's recording have arrived.
+func (as *AuthStream) Fed(role Role) int {
+	if as.ss == nil {
+		return 0
+	}
+	return as.ss.Fed(role)
+}
+
+// Feed appends a chunk of the role's recording (see SessionStream.Feed).
+func (as *AuthStream) Feed(role Role, pcm []int16) error {
+	if as.ss == nil {
+		return ErrStreamDecided
+	}
+	return as.ss.Feed(role, pcm)
+}
+
+// TryResult attempts the authentication decision over the audio fed so
+// far: need > 0 when more samples are required, otherwise the decision —
+// computed, accounted, and cached exactly once (see SessionStream.TryResult
+// for the error contract).
+func (as *AuthStream) TryResult() (*Result, int, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if as.done {
+		return as.res, 0, as.err
+	}
+	sr, need, err := as.ss.TryResult()
+	if err != nil {
+		return nil, 0, err
+	}
+	if need > 0 {
+		return nil, need, nil
+	}
+	as.a.account(sr)
+	as.res = as.a.decide(sr)
+	as.done = true
+	return as.res, 0, nil
+}

@@ -691,43 +691,9 @@ func (d *Detector) detectAll(ctx context.Context, rec recSource, sigs []*sigref.
 			results[s].Found = false
 			continue
 		}
-		lo := bestIdx[s] - d.cfg.CoarseStep
-		if lo < 0 {
-			lo = 0
-		}
-		hi := bestIdx[s] + d.cfg.CoarseStep
-		if hi > limit {
-			hi = limit
-		}
-		fineCount := (hi-lo)/d.cfg.FineStep + 1
-		one := specs[s : s+1]
-		need := fineCount
-		if fineStream {
-			need = 2 * fineCount // scores + per-window gross band power
-		}
-		if cap(sb.buf) < need {
-			sb.buf = make([]float64, need)
-		}
-		fineScores := sb.buf[:fineCount]
-		if !fineStream {
-			// Exact per-window FFTs (band-restricted unpack only): fine
-			// steps above the break-even don't benefit from streaming.
-			if err := d.scanWindows(ctx, rec, winLen, lo, d.cfg.FineStep, fineCount, band, false, one, fineScores, nil); err != nil {
-				return nil, err
-			}
-			for w := 0; w < fineCount; w++ {
-				if p := fineScores[w]; p > bestPow[s] {
-					bestPow[s], bestIdx[s] = p, lo+w*d.cfg.FineStep
-				}
-			}
-		} else {
-			gross := sb.buf[fineCount : 2*fineCount]
-			if err := d.scanWindows(ctx, rec, winLen, lo, d.cfg.FineStep, fineCount, band, true, one, fineScores, gross); err != nil {
-				return nil, err
-			}
-			if err := d.rescoreFinePeaks(ctx, rec, winLen, lo, fineCount, band, ss, fineScores, gross, &bestPow[s], &bestIdx[s]); err != nil {
-				return nil, err
-			}
+		fineCount, err := d.fineLocate(ctx, rec, winLen, limit, band, fineStream, specs[s:s+1], sb, &bestPow[s], &bestIdx[s])
+		if err != nil {
+			return nil, err
 		}
 		// The streamed evaluations stand in one-for-one for the exact
 		// evaluations of the historical all-exact fine scan (the handful of
@@ -746,6 +712,67 @@ func (d *Detector) detectAll(ctx context.Context, rec recSource, sigs []*sigref.
 		results[s].Found = true
 	}
 	return results, nil
+}
+
+// fineRange returns the fine-scan window sequence around a coarse argmax:
+// starts lo, lo+FineStep, …, hi (count windows), the ±CoarseStep span
+// clamped to the recording's window range [0, limit]. limit must be the
+// FULL recording's last window start — the streaming engine passes the
+// declared total length's limit even when only a prefix has arrived, so an
+// early fine scan runs over exactly the range the batch oracle would.
+func (c Config) fineRange(bestIdx, limit int) (lo, hi, count int) {
+	lo = bestIdx - c.CoarseStep
+	if lo < 0 {
+		lo = 0
+	}
+	hi = bestIdx + c.CoarseStep
+	if hi > limit {
+		hi = limit
+	}
+	count = (hi-lo)/c.FineStep + 1
+	return lo, hi, count
+}
+
+// fineLocate runs one signal's fine scan around its coarse argmax
+// (*bestIdx), updating (*bestPow, *bestIdx) exactly as the sequential
+// all-exact fine reduction would, and returns the number of fine windows
+// evaluated. one is the single-spec slice for this signal (a subslice of
+// the caller's spec array, so the call is allocation-free); sb is the
+// caller's pooled score storage, grown in place as needed. Shared verbatim
+// between the batch scan (detectAll) and the incremental engine
+// (Stream.Results), which is what keeps streamed decisions bit-identical
+// to the batch oracle.
+func (d *Detector) fineLocate(ctx context.Context, rec recSource, winLen, limit int, band bandRange, fineStream bool, one []*sigSpec, sb *scoreBuf, bestPow *float64, bestIdx *int) (int, error) {
+	lo, _, fineCount := d.cfg.fineRange(*bestIdx, limit)
+	need := fineCount
+	if fineStream {
+		need = 2 * fineCount // scores + per-window gross band power
+	}
+	if cap(sb.buf) < need {
+		sb.buf = make([]float64, need)
+	}
+	fineScores := sb.buf[:fineCount]
+	if !fineStream {
+		// Exact per-window FFTs (band-restricted unpack only): fine
+		// steps above the break-even don't benefit from streaming.
+		if err := d.scanWindows(ctx, rec, winLen, lo, d.cfg.FineStep, fineCount, band, false, one, fineScores, nil); err != nil {
+			return 0, err
+		}
+		for w := 0; w < fineCount; w++ {
+			if p := fineScores[w]; p > *bestPow {
+				*bestPow, *bestIdx = p, lo+w*d.cfg.FineStep
+			}
+		}
+		return fineCount, nil
+	}
+	gross := sb.buf[fineCount : 2*fineCount]
+	if err := d.scanWindows(ctx, rec, winLen, lo, d.cfg.FineStep, fineCount, band, true, one, fineScores, gross); err != nil {
+		return 0, err
+	}
+	if err := d.rescoreFinePeaks(ctx, rec, winLen, lo, fineCount, band, one[0], fineScores, gross, bestPow, bestIdx); err != nil {
+		return 0, err
+	}
+	return fineCount, nil
 }
 
 // rescoreFinePeaks is the exact-at-peak verification pass of the streaming

@@ -24,6 +24,15 @@
 // and powers from exact scores only (bit-identical to an all-exact fine
 // scan by construction).
 //
+// Detector.NewStream is the incremental form of the same scan: a Stream
+// accumulates chunked PCM against the recording length declared at
+// construction (bounded by MaxStreamLength; over-feeding is rejected
+// whole with ErrFeedOverflow), scores coarse blocks as they complete on
+// the exact grid the batch scan would use, runs the fine re-check as soon
+// as the candidate band is buffered, and reports via Results either the
+// per-signal results or how many more samples it needs — after any prefix,
+// its state is bit-identical to a batch scan of that prefix.
+//
 // Invariants: scans are bit-deterministic at any GOMAXPROCS and pool size —
 // streaming-scan workers claim contiguous hop blocks aligned to the resync
 // grid, and window scores (and the fine scan's exact re-checks) reduce in

@@ -1,0 +1,310 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/acoustic-auth/piano/internal/dsp"
+	"github.com/acoustic-auth/piano/internal/sigref"
+)
+
+// MaxStreamLength bounds the total PCM one Stream may be declared to (and
+// therefore ever ingest): ~6.3 minutes at 44.1 kHz. Like
+// sigref.MaxSignalLength at the Step-II trust boundary, it keeps a
+// hostile or buggy feeder from making the engine commit unbounded memory —
+// the stream's buffer is allocated up front from the declared length, so
+// the declaration is where the bound must hold.
+const MaxStreamLength = 1 << 24
+
+// ErrFeedOverflow is returned (wrapped, match with errors.Is) by
+// Stream.Feed when the appended PCM would exceed the stream's declared
+// recording length. The offending chunk is rejected whole; the stream
+// remains usable with the audio fed so far.
+var ErrFeedOverflow = errors.New("detect: streamed PCM exceeds the declared recording length")
+
+// Stream is the incremental form of DetectAllPCM: one recording's scan fed
+// chunk by chunk while the audio is still arriving.
+//
+// The stream is declared with the recording's total length up front (the
+// session knows its recording duration before the first sample exists), so
+// the coarse window grid, the fine-scan clamping range, and the
+// WindowsScanned cost accounting are all fixed a priori — identical to the
+// batch scan of the eventual complete recording. Feed appends PCM and
+// advances the coarse scan over exactly the windows the new samples
+// completed, on the same fixed block grid and in the same window order as
+// the batch engine; Results reduces the scanned prefix and, once the
+// audio covering each candidate's fine band has arrived, runs the same
+// fine scan (streamed hops + exact-at-peak re-check, via the shared
+// fineLocate machinery) the batch engine runs.
+//
+// Determinism contract: after the full declared length has been fed —
+// in chunks of ANY size, including all at once — Results is bit-identical
+// to DetectAllPCM of the complete recording, at any GOMAXPROCS. Results
+// called on a prefix is the exact deterministic fold of that prefix's
+// windows: it equals the batch result whenever no unscanned tail window
+// both passes the α/β sanity checks and beats the prefix maximum (the
+// session layer derives a protocol horizon after which the schedule
+// guarantees that; see core).
+//
+// A Stream serializes its own methods with an internal mutex, but the
+// intended use is one feeder per stream. It must not be used after its
+// Detector is gone.
+type Stream struct {
+	d     *Detector
+	specs []*sigSpec
+	band  bandRange
+
+	winLen int
+	total  int // declared recording length, samples
+	limit  int // total − winLen: last window start of the full recording
+	grid   dsp.HopGrid
+	stream bool // coarse scan below the sliding-DFT break-even
+
+	mu      sync.Mutex
+	buf     []int16   // arrived PCM, cap == total
+	scanned int       // coarse windows scored so far (prefix, window order)
+	scores  []float64 // coarse scores, grid.Count × len(specs)
+}
+
+// NewStream opens an incremental scan for a recording declared to be total
+// samples long. The signals must share Params (length and grid), exactly as
+// in DetectAll; total must cover at least one window and stay within
+// MaxStreamLength.
+func (d *Detector) NewStream(total int, sigs ...*sigref.Signal) (*Stream, error) {
+	if len(sigs) == 0 {
+		return nil, errors.New("detect: no signals given")
+	}
+	for _, s := range sigs {
+		if s == nil {
+			return nil, errors.New("detect: nil signal")
+		}
+		if s.Params() != sigs[0].Params() {
+			return nil, errors.New("detect: signals have differing parameters")
+		}
+	}
+	winLen := sigs[0].Params().Length
+	if total < winLen {
+		return nil, fmt.Errorf("detect: declared recording %d shorter than window %d", total, winLen)
+	}
+	if total > MaxStreamLength {
+		return nil, fmt.Errorf("detect: declared recording %d exceeds the %d-sample stream bound", total, MaxStreamLength)
+	}
+	band, err := d.cfg.scanBand(sigs[0].Params())
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]*sigSpec, len(sigs))
+	for i, s := range sigs {
+		specs[i] = d.newSigSpec(s)
+	}
+	limit := total - winLen
+	stream := !d.disableStream && dsp.StreamingWins(winLen, band.hi-band.lo, d.cfg.CoarseStep)
+	block := fftScanBlock
+	if stream {
+		block = dsp.StreamResyncHops
+	}
+	grid := dsp.HopGrid{
+		Lo:     0,
+		Step:   d.cfg.CoarseStep,
+		WinLen: winLen,
+		Count:  limit/d.cfg.CoarseStep + 1,
+		Block:  block,
+	}
+	return &Stream{
+		d:      d,
+		specs:  specs,
+		band:   band,
+		winLen: winLen,
+		total:  total,
+		limit:  limit,
+		grid:   grid,
+		stream: stream,
+		buf:    make([]int16, 0, total),
+		scores: make([]float64, grid.Count*len(specs)),
+	}, nil
+}
+
+// Total returns the declared recording length in samples.
+func (st *Stream) Total() int { return st.total }
+
+// Fed returns how many samples have arrived so far.
+func (st *Stream) Fed() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.buf)
+}
+
+// CoarseScanned returns how many coarse windows of the fixed grid have
+// been scored so far (diagnostics; grid completion is CoarseScanned ==
+// the grid's Count).
+func (st *Stream) CoarseScanned() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.scanned
+}
+
+// Feed appends a chunk of PCM and scores every coarse window the new
+// samples completed, through the detector's shared scan engine (pool
+// workers, pooled scratch, cancellation checkpoints between hop blocks).
+// A chunk that would exceed the declared total is rejected whole with
+// ErrFeedOverflow, leaving the stream usable. A scan error (cancellation,
+// a recovered worker panic) leaves the appended audio in place with the
+// scan frontier unchanged — a later Feed or Results resumes the scan.
+func (st *Stream) Feed(ctx context.Context, pcm []int16) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.buf)+len(pcm) > st.total {
+		return fmt.Errorf("%w: %d + %d samples against declared length %d",
+			ErrFeedOverflow, len(st.buf), len(pcm), st.total)
+	}
+	st.buf = append(st.buf, pcm...)
+	return st.advance(ctx)
+}
+
+// advance scores coarse windows [scanned, frontier) — the windows fully
+// contained in the audio fed so far that have not been scored yet. Called
+// with st.mu held.
+//
+// In exact-FFT coarse mode (the paper's default: coarse step 1000 is far
+// above the sliding-DFT break-even) every window is scored by an
+// independent band-restricted FFT, so scores are independent of how the
+// windows are grouped into scan calls and the frontier advances in one
+// call. In streaming coarse mode the batch engine resynchronizes (full-FFT
+// Reset) at fixed StreamResyncHops block starts and slides within a block,
+// so the incremental scan advances block-aligned: each call covers whole
+// grid blocks from the block containing the frontier, re-sliding a partial
+// block's already-scored prefix when its block completes later —
+// recomputing bit-identical values, never diverging from the batch grid.
+func (st *Stream) advance(ctx context.Context) error {
+	frontier := st.grid.CompleteWindows(len(st.buf))
+	if frontier <= st.scanned {
+		return nil
+	}
+	rec := recSource{pcm: st.buf}
+	k := len(st.specs)
+	if !st.stream {
+		lo := st.grid.WindowStart(st.scanned)
+		count := frontier - st.scanned
+		if err := st.d.scanWindows(ctx, rec, st.winLen, lo, st.grid.Step, count, st.band, false, st.specs, st.scores[st.scanned*k:frontier*k], nil); err != nil {
+			return err
+		}
+		st.scanned = frontier
+		return nil
+	}
+	for b := st.scanned / st.grid.Block; ; b++ {
+		w0, w1 := st.grid.BlockBounds(b)
+		if w0 >= frontier {
+			break
+		}
+		end := w1
+		if end > frontier {
+			end = frontier
+		}
+		if err := st.d.scanWindows(ctx, rec, st.winLen, st.grid.WindowStart(w0), st.grid.Step, end-w0, st.band, true, st.specs, st.scores[w0*k:end*k], nil); err != nil {
+			return err
+		}
+		st.scanned = end
+	}
+	return nil
+}
+
+// Results reduces the scanned prefix into one Result per signal — the
+// same argmax fold, fine scan, exact-at-peak re-check, and ε absent check
+// the batch engine performs, over the windows arrived so far.
+//
+// The int return is the need: 0 when the results are valid for the current
+// prefix, otherwise the largest number of additional samples required
+// before they can be computed — because no coarse window is complete yet,
+// or because a candidate's fine-scan band (argmax ± CoarseStep, clamped to
+// the FULL recording's window range, plus one window length) has not fully
+// arrived. Results is repeatable and side-effect-free on the scan state:
+// calling it on a longer prefix re-reduces from the same scores.
+//
+// Cost accounting note: WindowsScanned and CoarseScanned report the FULL
+// fixed grid's coarse count (known a priori from the declared length), not
+// the prefix's — the modeled per-window cost of the eventual complete scan,
+// byte-identical to the batch engine's accounting, which is what keeps an
+// early decision's modeled timing equal to the batch oracle's.
+func (st *Stream) Results(ctx context.Context) ([]Result, int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Resume a scan a failed Feed left behind (no-op otherwise).
+	if err := st.advance(ctx); err != nil {
+		return nil, 0, err
+	}
+	fed := len(st.buf)
+	if st.scanned == 0 {
+		return nil, st.grid.NeedFor(0) - fed, nil
+	}
+
+	k := len(st.specs)
+	bestIdx := make([]int, k)
+	bestPow := make([]float64, k)
+	for s := range st.specs {
+		bestPow[s] = math.Inf(-1)
+		bestIdx[s] = -1
+	}
+	for w := 0; w < st.scanned; w++ {
+		i := st.grid.WindowStart(w)
+		row := st.scores[w*k : (w+1)*k]
+		for s := range st.specs {
+			if p := row[s]; p > bestPow[s] {
+				bestPow[s], bestIdx[s] = p, i
+			}
+		}
+	}
+
+	// Every candidate's fine band must have arrived before any fine scan
+	// runs, so a Results call either returns complete results or a need —
+	// never a half-fine state.
+	need := 0
+	for s := range st.specs {
+		if bestIdx[s] < 0 || math.IsInf(bestPow[s], -1) {
+			continue
+		}
+		_, hi, _ := st.d.cfg.fineRange(bestIdx[s], st.limit)
+		if n := hi + st.winLen - fed; n > need {
+			need = n
+		}
+	}
+	if need > 0 {
+		return nil, need, nil
+	}
+
+	fineStream := !st.d.disableStream && dsp.StreamingWins(st.winLen, st.band.hi-st.band.lo, st.d.cfg.FineStep)
+	rec := recSource{pcm: st.buf}
+	sb := st.d.getScores(1)
+	defer st.d.scorePool.Put(sb)
+	results := make([]Result, k)
+	for s, ss := range st.specs {
+		if err := ctxErr(ctx); err != nil {
+			return nil, 0, err
+		}
+		results[s].WindowsScanned = st.grid.Count
+		results[s].CoarseScanned = st.grid.Count
+		if bestIdx[s] < 0 || math.IsInf(bestPow[s], -1) {
+			// Every scanned window failed the sanity checks: ⊥ on this
+			// prefix (equal to the batch ⊥ once the tail holds no passing
+			// window — the horizon contract).
+			results[s].Power = bestPow[s]
+			results[s].Found = false
+			continue
+		}
+		fineCount, err := st.d.fineLocate(ctx, rec, st.winLen, st.limit, st.band, fineStream, st.specs[s:s+1], sb, &bestPow[s], &bestIdx[s])
+		if err != nil {
+			return nil, 0, err
+		}
+		results[s].WindowsScanned += fineCount
+		results[s].Power = bestPow[s]
+		if bestPow[s] < ss.absentFloor {
+			results[s].Found = false
+			continue
+		}
+		results[s].Location = bestIdx[s]
+		results[s].Found = true
+	}
+	return results, 0, nil
+}

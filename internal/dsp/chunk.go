@@ -1,0 +1,95 @@
+package dsp
+
+import "fmt"
+
+// HopGrid is the chunk-arrival companion to SlidingBandDFT: the fixed
+// arithmetic window grid of one scan pass — windows start at
+// Lo, Lo+Step, …, Lo+(Count−1)·Step, each WinLen samples long — together
+// with the resync-block structure the scan engine claims work on (Block
+// windows per block, dsp.StreamResyncHops for streaming scans). As PCM is
+// appended chunk by chunk, the grid reports how many leading windows (and
+// how many whole blocks) are fully contained in the audio received so far,
+// so an incremental scan can advance exactly to the frontier — on the same
+// grid, in the same order, as a batch scan of the complete recording —
+// and no further.
+//
+// HopGrid is pure arithmetic over a value receiver: it holds no state and
+// is trivially safe to share.
+type HopGrid struct {
+	// Lo is the first window's start sample.
+	Lo int
+	// Step is the hop between consecutive window starts.
+	Step int
+	// WinLen is each window's length in samples.
+	WinLen int
+	// Count is the total number of windows in the grid.
+	Count int
+	// Block is the resync-block size in windows (StreamResyncHops for
+	// streaming scans); CompleteBlocks reports in units of it.
+	Block int
+}
+
+// Validate checks grid sanity.
+func (g HopGrid) Validate() error {
+	switch {
+	case g.Lo < 0:
+		return fmt.Errorf("dsp: hop grid lo %d negative", g.Lo)
+	case g.Step < 1:
+		return fmt.Errorf("dsp: hop grid step %d must be ≥ 1", g.Step)
+	case g.WinLen < 1:
+		return fmt.Errorf("dsp: hop grid window length %d must be ≥ 1", g.WinLen)
+	case g.Count < 1:
+		return fmt.Errorf("dsp: hop grid window count %d must be ≥ 1", g.Count)
+	case g.Block < 1:
+		return fmt.Errorf("dsp: hop grid block size %d must be ≥ 1", g.Block)
+	}
+	return nil
+}
+
+// WindowStart returns window w's start sample.
+func (g HopGrid) WindowStart(w int) int { return g.Lo + w*g.Step }
+
+// NeedFor returns how many samples of recording must exist before window w
+// is complete: its start plus the full window length.
+func (g HopGrid) NeedFor(w int) int { return g.WindowStart(w) + g.WinLen }
+
+// CompleteWindows returns how many leading windows of the grid are fully
+// contained in the first fed samples of the recording: the largest c ≤
+// Count such that every window w < c satisfies NeedFor(w) ≤ fed. This is
+// the scan frontier an incremental engine may score after an append.
+func (g HopGrid) CompleteWindows(fed int) int {
+	if fed < g.NeedFor(0) {
+		return 0
+	}
+	c := (fed-g.Lo-g.WinLen)/g.Step + 1
+	if c > g.Count {
+		c = g.Count
+	}
+	return c
+}
+
+// CompleteBlocks returns how many whole resync blocks are complete at fed
+// samples — CompleteWindows(fed)/Block, except that the grid's final block
+// (which may be short) counts as complete once the last window is. Streaming
+// scans resynchronize (full-FFT Reset) at block starts, so advancing
+// block-by-block reproduces the batch scan's drift pattern bit-exactly.
+func (g HopGrid) CompleteBlocks(fed int) int {
+	c := g.CompleteWindows(fed)
+	if c == g.Count {
+		return g.Blocks()
+	}
+	return c / g.Block
+}
+
+// Blocks returns the total number of resync blocks in the grid.
+func (g HopGrid) Blocks() int { return (g.Count + g.Block - 1) / g.Block }
+
+// BlockBounds returns block b's window range [w0, w1).
+func (g HopGrid) BlockBounds(b int) (w0, w1 int) {
+	w0 = b * g.Block
+	w1 = w0 + g.Block
+	if w1 > g.Count {
+		w1 = g.Count
+	}
+	return w0, w1
+}

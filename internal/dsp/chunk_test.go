@@ -1,0 +1,101 @@
+package dsp
+
+import "testing"
+
+// bruteCompleteWindows is the obvious O(Count) oracle for CompleteWindows.
+func bruteCompleteWindows(g HopGrid, fed int) int {
+	c := 0
+	for w := 0; w < g.Count; w++ {
+		if g.NeedFor(w) > fed {
+			break
+		}
+		c++
+	}
+	return c
+}
+
+func TestHopGridValidate(t *testing.T) {
+	good := HopGrid{Lo: 0, Step: 1000, WinLen: 4096, Count: 49, Block: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []HopGrid{
+		{Lo: -1, Step: 1, WinLen: 1, Count: 1, Block: 1},
+		{Lo: 0, Step: 0, WinLen: 1, Count: 1, Block: 1},
+		{Lo: 0, Step: 1, WinLen: 0, Count: 1, Block: 1},
+		{Lo: 0, Step: 1, WinLen: 1, Count: 0, Block: 1},
+		{Lo: 0, Step: 1, WinLen: 1, Count: 1, Block: 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: invalid grid %+v accepted", i, g)
+		}
+	}
+}
+
+func TestHopGridCompleteWindowsMatchesBruteForce(t *testing.T) {
+	grids := []HopGrid{
+		{Lo: 0, Step: 1000, WinLen: 4096, Count: 49, Block: 4},    // paper coarse grid
+		{Lo: 3000, Step: 10, WinLen: 4096, Count: 201, Block: 64}, // fine grid
+		{Lo: 0, Step: 1, WinLen: 7, Count: 13, Block: 5},          // dense tiny
+		{Lo: 5, Step: 3, WinLen: 4, Count: 6, Block: 64},          // offset, short
+	}
+	for gi, g := range grids {
+		last := g.NeedFor(g.Count-1) + 3
+		for fed := 0; fed <= last; fed++ {
+			want := bruteCompleteWindows(g, fed)
+			if got := g.CompleteWindows(fed); got != want {
+				t.Fatalf("grid %d fed=%d: CompleteWindows=%d want %d", gi, fed, got, want)
+			}
+		}
+	}
+}
+
+func TestHopGridCompleteWindowsMonotoneAndSaturating(t *testing.T) {
+	g := HopGrid{Lo: 0, Step: 1000, WinLen: 4096, Count: 49, Block: StreamResyncHops}
+	prev := 0
+	for fed := 0; fed <= g.NeedFor(g.Count-1)+5000; fed += 97 {
+		c := g.CompleteWindows(fed)
+		if c < prev {
+			t.Fatalf("fed=%d: frontier went backwards %d -> %d", fed, prev, c)
+		}
+		if c > g.Count {
+			t.Fatalf("fed=%d: frontier %d exceeds Count %d", fed, c, g.Count)
+		}
+		prev = c
+	}
+	if prev != g.Count {
+		t.Fatalf("frontier saturated at %d, want %d", prev, g.Count)
+	}
+}
+
+func TestHopGridBlocks(t *testing.T) {
+	g := HopGrid{Lo: 0, Step: 10, WinLen: 100, Count: 130, Block: 64}
+	if got := g.Blocks(); got != 3 {
+		t.Fatalf("Blocks=%d want 3", got)
+	}
+	// Block bounds tile [0, Count) exactly.
+	at := 0
+	for b := 0; b < g.Blocks(); b++ {
+		w0, w1 := g.BlockBounds(b)
+		if w0 != at || w1 <= w0 || w1 > g.Count {
+			t.Fatalf("block %d bounds [%d, %d) at frontier %d", b, w0, w1, at)
+		}
+		at = w1
+	}
+	if at != g.Count {
+		t.Fatalf("blocks tile to %d, want %d", at, g.Count)
+	}
+
+	// A whole block completes only when its last window does; the final
+	// short block completes with the grid.
+	if got := g.CompleteBlocks(g.NeedFor(63) - 1); got != 0 {
+		t.Fatalf("CompleteBlocks just before window 63 closes = %d, want 0", got)
+	}
+	if got := g.CompleteBlocks(g.NeedFor(63)); got != 1 {
+		t.Fatalf("CompleteBlocks at window 63 close = %d, want 1", got)
+	}
+	if got := g.CompleteBlocks(g.NeedFor(g.Count - 1)); got != g.Blocks() {
+		t.Fatalf("CompleteBlocks at grid close = %d, want %d", got, g.Blocks())
+	}
+}

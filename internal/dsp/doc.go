@@ -18,7 +18,10 @@
 // by the measured crossover; SparseFIR folds many fractional-delay taps
 // (FIRTap) into a few dense coefficient segments using the canonical
 // Hann-windowed sinc kernel (SincDelayKernel — the single source of truth
-// shared with audio's per-tap mixer).
+// shared with audio's per-tap mixer); HopGrid is the stateless chunk
+// arithmetic behind online ingestion — which coarse windows and
+// resync-aligned blocks a streamed prefix of samples completes, so a
+// chunked feed scans exactly the grid a batch scan would.
 //
 // Invariants: *Into methods write into caller-owned scratch and allocate
 // nothing on the hot path; plan methods are safe for concurrent use but

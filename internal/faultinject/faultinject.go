@@ -26,6 +26,12 @@ const (
 	// a pool-worker crash mid-scan; delay simulates a slow-scan stall; a
 	// Hook can cancel the session's context mid-scan.
 	SiteDetectBlock = "detect.block"
+	// SiteStreamFeed fires once per Session.Feed call on a streaming
+	// authentication session, before the chunk is ingested. An error fails
+	// that feed (the chunk is not ingested; the session stays open); panic
+	// here simulates a feeder-goroutine crash, which resolves the whole
+	// session to ErrInternal; delay simulates a stalled audio source.
+	SiteStreamFeed = "service.feed"
 )
 
 // Action says what a triggered Fault does to the firing goroutine.

@@ -34,4 +34,15 @@
 // bit-identity contract: a session that completes is byte-for-byte the
 // serial result. internal/faultinject provides the chaos hooks the tests
 // (and piano-serve -chaos) use to prove all of the above under -race.
+//
+// Streaming sessions (PR 7): OpenSession admits a session, runs Steps
+// I–III eagerly, and returns a Session that consumes per-role PCM in
+// chunks (Feed) and decides at the early horizon (TryResult/Result) —
+// bit-identical to AuthenticateContext on the same request for any
+// chunking. A streaming session holds its admission slot from open to
+// resolution; resolution is exactly-once and first-writer-wins across
+// decision, Close, context cancellation, service Close (ErrClosed), and
+// recovered panics (ErrInternal). Feed-protocol sentinels
+// (ErrNeedMoreAudio, ErrFeedOverflow, ErrStreamDecided) report misuse
+// without resolving the session.
 package service

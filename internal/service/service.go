@@ -133,6 +133,7 @@ type AuthService struct {
 	waiters  int // requests currently queued for a slot
 	inFlight sync.WaitGroup
 	sessions uint64
+	streams  map[*Session]struct{} // open streaming sessions (force-resolved on Close)
 }
 
 // New validates cfg and builds the service: the worker pool is started,
@@ -176,6 +177,7 @@ func New(cfg Config) (*AuthService, error) {
 		plans:    plans,
 		sem:      make(chan struct{}, cfg.MaxSessions),
 		draining: make(chan struct{}),
+		streams:  make(map[*Session]struct{}),
 	}, nil
 }
 
@@ -390,6 +392,29 @@ func (s *AuthService) runSession(ctx context.Context, req Request) (res *core.Re
 		return nil, err
 	}
 
+	a, plays, err := s.buildSession(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err = a.AuthenticateContext(ctx, plays...)
+	if err != nil {
+		// Cancellation comes back as ctx.Err() itself, not wrapped in scan
+		// provenance: the caller canceled, so "which device's scan noticed
+		// first" is scheduling noise, and the bare sentinel is what callers
+		// compare against.
+		if ctxe := ctx.Err(); ctxe != nil && errors.Is(err, ctxe) {
+			return nil, ctxe
+		}
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	return res, nil
+}
+
+// buildSession constructs one session's devices, interferers, seeded RNG,
+// and authenticator (with the shared detector attached) from a request —
+// the part of the pipeline common to the batch path (runSession) and the
+// streaming path (OpenSession), so both build sessions identically.
+func (s *AuthService) buildSession(req Request) (*core.Authenticator, []core.ExtraPlay, error) {
 	cfg := s.sessionConfig(req)
 
 	// Shared with piano.NewDeployment (device.NewSessionDevice) so service
@@ -399,11 +424,11 @@ func (s *AuthService) runSession(ctx context.Context, req Request) (res *core.Re
 	}
 	auth, err := mk(req.Auth, "authenticating-device")
 	if err != nil {
-		return nil, fmt.Errorf("service: %w", err)
+		return nil, nil, fmt.Errorf("service: %w", err)
 	}
 	vouch, err := mk(req.Vouch, "vouching-device")
 	if err != nil {
-		return nil, fmt.Errorf("service: %w", err)
+		return nil, nil, fmt.Errorf("service: %w", err)
 	}
 	interferers := make([]*device.Device, 0, len(req.Interferers))
 	for i, spec := range req.Interferers {
@@ -413,7 +438,7 @@ func (s *AuthService) runSession(ctx context.Context, req Request) (res *core.Re
 		}
 		dev, err := attack.NewAttackerDevice(name, [2]float64{spec.X, spec.Y}, req.Auth.Room)
 		if err != nil {
-			return nil, fmt.Errorf("service: %w", err)
+			return nil, nil, fmt.Errorf("service: %w", err)
 		}
 		interferers = append(interferers, dev)
 	}
@@ -431,7 +456,7 @@ func (s *AuthService) runSession(ctx context.Context, req Request) (res *core.Re
 
 	a, err := core.NewAuthenticator(cfg, auth, vouch, rng)
 	if err != nil {
-		return nil, fmt.Errorf("service: %w", err)
+		return nil, nil, fmt.Errorf("service: %w", err)
 	}
 	a.UseDetector(s.det)
 
@@ -439,21 +464,10 @@ func (s *AuthService) runSession(ctx context.Context, req Request) (res *core.Re
 	if len(interferers) > 0 {
 		plays, err = attack.Interference(cfg.Signal, interferers, rng)
 		if err != nil {
-			return nil, fmt.Errorf("service: %w", err)
+			return nil, nil, fmt.Errorf("service: %w", err)
 		}
 	}
-	res, err = a.AuthenticateContext(ctx, plays...)
-	if err != nil {
-		// Cancellation comes back as ctx.Err() itself, not wrapped in scan
-		// provenance: the caller canceled, so "which device's scan noticed
-		// first" is scheduling noise, and the bare sentinel is what callers
-		// compare against.
-		if ctxe := ctx.Err(); ctxe != nil && errors.Is(err, ctxe) {
-			return nil, ctxe
-		}
-		return nil, fmt.Errorf("service: %w", err)
-	}
-	return res, nil
+	return a, plays, nil
 }
 
 // replenish rebuilds one prewarmed scan workspace after a panic poisoned
@@ -465,9 +479,12 @@ func (s *AuthService) replenish() {
 }
 
 // Close stops admission, sheds every request still waiting for a session
-// slot (they return ErrClosed), drains the sessions already admitted, and
-// stops the worker pool. Subsequent Authenticate calls return ErrClosed.
-// Close is idempotent.
+// slot (they return ErrClosed), force-resolves every open streaming
+// session to ErrClosed (a streaming session holds its slot until its
+// decision, so an abandoned half-fed stream would otherwise stall the
+// drain forever), drains the sessions already admitted, and stops the
+// worker pool. Subsequent Authenticate calls return ErrClosed. Close is
+// idempotent.
 func (s *AuthService) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -480,7 +497,14 @@ func (s *AuthService) Close() {
 	// must shed, or inFlight.Wait would admit it mid-drain (or deadlock
 	// behind sessions that never free enough slots).
 	close(s.draining)
+	open := make([]*Session, 0, len(s.streams))
+	for sn := range s.streams {
+		open = append(open, sn)
+	}
 	s.mu.Unlock()
+	for _, sn := range open {
+		sn.resolve(nil, ErrClosed)
+	}
 	s.inFlight.Wait()
 	s.pool.Close()
 }

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"github.com/acoustic-auth/piano/internal/core"
+	"github.com/acoustic-auth/piano/internal/detect"
+	"github.com/acoustic-auth/piano/internal/faultinject"
+)
+
+// Streaming-session sentinels, re-exported from the layers that own them so
+// service callers match every failure mode against one package.
+var (
+	// ErrStreamDecided: audio arrived after the session reached its
+	// decision (or after Close resolved it).
+	ErrStreamDecided = core.ErrStreamDecided
+	// ErrFeedOverflow: a chunk would exceed the session's declared
+	// recording length; it was rejected whole and the session stays open.
+	ErrFeedOverflow = detect.ErrFeedOverflow
+	// ErrNeedMoreAudio: Result was called before enough audio arrived to
+	// decide. The wrapped message carries how many samples are still
+	// missing; keep feeding and retry.
+	ErrNeedMoreAudio = errors.New("service: streaming session needs more audio")
+)
+
+// Session is one admitted streaming authentication session: Steps I–III
+// already ran, and the session now consumes each role's microphone PCM in
+// chunks, deciding as soon as both recordings have revealed their signals —
+// typically well before either recording is complete.
+//
+// A Session occupies one of the service's MaxSessions slots from OpenSession
+// until it resolves — by decision, by error, by Close (either the session's
+// or the service's), or by context cancellation. Every resolution path
+// releases the slot exactly once. The methods are safe for concurrent use;
+// the intended shape is one feeder goroutine per role.
+type Session struct {
+	svc    *AuthService
+	as     *core.AuthStream
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	resolved bool
+	res      *core.Result
+	err      error
+}
+
+// OpenSession admits and opens a streaming session for the request:
+// validation and admission control are identical to AuthenticateContext
+// (ErrOverloaded, ErrClosed, ctx.Err() from the queue), and Steps I–III run
+// before it returns, so the returned session is ready to ingest audio. The
+// ctx governs the whole session: canceling it resolves an undecided session
+// to ctx's error. The caller must resolve the session — feed it to a
+// decision or Close it — or its slot stays occupied.
+func (s *AuthService) OpenSession(ctx context.Context, req Request) (*Session, error) {
+	if err := validateRequest(req); err != nil {
+		return nil, err
+	}
+	// Chaos hook: same admission perturbation point as the batch path.
+	if err := faultinject.Fire(faultinject.SiteServiceAcquire); err != nil {
+		return nil, err
+	}
+	if err := s.begin(ctx); err != nil {
+		return nil, err
+	}
+	sess, err := s.openStream(ctx, req)
+	if err != nil {
+		var pe *detect.PanicError
+		if errors.As(err, &pe) {
+			err = &InternalError{Panic: pe.Value, Stack: pe.Stack}
+		}
+		if errors.Is(err, ErrInternal) {
+			s.replenish()
+		}
+		s.end()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// openStream builds and registers the session once a slot is held. Panic
+// isolation for the open phase (device build, scene render) lives here.
+func (s *AuthService) openStream(ctx context.Context, req Request) (sess *Session, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sess, err = nil, &InternalError{Panic: r, Stack: debug.Stack()}
+		}
+	}()
+	// Chaos hook: same per-session crash point as the batch path.
+	if err := faultinject.Fire(faultinject.SiteServiceSession); err != nil {
+		return nil, err
+	}
+	a, plays, err := s.buildSession(req)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	as, err := a.OpenStreamContext(sctx, plays...)
+	if err != nil {
+		cancel()
+		if ctxe := sctx.Err(); ctxe != nil && errors.Is(err, ctxe) {
+			return nil, ctxe
+		}
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	sess = &Session{svc: s, as: as, ctx: sctx, cancel: cancel}
+	// Register under the service lock, re-checking closed: a Close racing
+	// this open may already have swept the streams map, and a session
+	// registered after the sweep would never be force-resolved.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrClosed
+	}
+	s.streams[sess] = struct{}{}
+	s.mu.Unlock()
+	return sess, nil
+}
+
+// resolve finishes the session exactly once: records the outcome, cancels
+// any in-flight scan, unregisters from the service, and releases the
+// session slot. First writer wins; later calls are no-ops.
+func (sn *Session) resolve(res *core.Result, err error) bool {
+	sn.mu.Lock()
+	if sn.resolved {
+		sn.mu.Unlock()
+		return false
+	}
+	sn.resolved = true
+	sn.res, sn.err = res, err
+	sn.mu.Unlock()
+	sn.cancel()
+	s := sn.svc
+	s.mu.Lock()
+	delete(s.streams, sn)
+	if err == nil {
+		s.sessions++
+	}
+	s.mu.Unlock()
+	s.end()
+	return true
+}
+
+// outcome returns the recorded resolution (valid once resolved).
+func (sn *Session) outcome() (*core.Result, error, bool) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.res, sn.err, sn.resolved
+}
+
+// fail classifies an error out of the streaming engine and resolves the
+// session when it is fatal: a recovered scan-worker panic becomes
+// ErrInternal (with the workspace replenished, as in the batch path) and a
+// session-context error becomes that error. Non-fatal errors — an
+// over-length chunk, audio after the decision — pass through typed with the
+// session still open.
+func (sn *Session) fail(err error) error {
+	if errors.Is(err, ErrFeedOverflow) || errors.Is(err, ErrStreamDecided) {
+		return err
+	}
+	var pe *detect.PanicError
+	if errors.As(err, &pe) {
+		ie := &InternalError{Panic: pe.Value, Stack: pe.Stack}
+		sn.svc.replenish()
+		sn.resolve(nil, ie)
+		return ie
+	}
+	if ctxe := sn.ctx.Err(); ctxe != nil && errors.Is(err, ctxe) {
+		sn.resolve(nil, ctxe)
+		return ctxe
+	}
+	return fmt.Errorf("service: %w", err)
+}
+
+// Recording returns the role's complete rendered recording — the simulated
+// microphone the caller feeds chunks from (nil once resolved by Close
+// without a decision, or when the session was pre-decided).
+func (sn *Session) Recording(role core.Role) []int16 { return sn.as.Recording(role) }
+
+// EarlyFeedLen returns the role's decision horizon: once every role has
+// been fed this much, Result decides without the rest of the recording.
+func (sn *Session) EarlyFeedLen(role core.Role) int { return sn.as.EarlyFeedLen(role) }
+
+// Fed returns how many samples of the role's recording have arrived.
+func (sn *Session) Fed(role core.Role) int { return sn.as.Fed(role) }
+
+// Feed ingests one chunk of the role's recording and advances that role's
+// scan. Typed failures: ErrFeedOverflow (chunk rejected whole, session
+// open), ErrStreamDecided (decision already made — or the session's own
+// resolution error, if it resolved to one), ErrInternal (a panic anywhere
+// in the feed path; the session is resolved and its slot released), or the
+// session context's error once canceled. A panic in the feed path is
+// recovered here, mirroring the batch pipeline's session-goroutine
+// isolation.
+func (sn *Session) Feed(role core.Role, pcm []int16) (err error) {
+	if _, rerr, done := sn.outcome(); done {
+		if rerr != nil {
+			return rerr
+		}
+		return ErrStreamDecided
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ie := &InternalError{Panic: r, Stack: debug.Stack()}
+			sn.svc.replenish()
+			sn.resolve(nil, ie)
+			err = ie
+		}
+	}()
+	// Chaos hook: perturb ingestion itself (error → one failed feed with
+	// the session open; panic → feeder crash, session resolves internal).
+	if ferr := faultinject.Fire(faultinject.SiteStreamFeed); ferr != nil {
+		return fmt.Errorf("service: feed: %w", ferr)
+	}
+	if ferr := sn.as.Feed(role, pcm); ferr != nil {
+		return sn.fail(ferr)
+	}
+	return nil
+}
+
+// TryResult attempts the decision over the audio fed so far. need > 0
+// means the session is healthy but undecided: at least that many more
+// samples are required for some role. need == 0 with a nil error is the
+// decision (cached; the slot is released and later calls keep returning
+// it). Errors follow Feed's taxonomy. Decisions are bit-identical to
+// AuthenticateContext on the same request — fed any chunking, at any
+// GOMAXPROCS, decided at the horizon or after the full feed.
+func (sn *Session) TryResult() (res *core.Result, need int, err error) {
+	if r, rerr, done := sn.outcome(); done {
+		return r, 0, rerr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ie := &InternalError{Panic: r, Stack: debug.Stack()}
+			sn.svc.replenish()
+			sn.resolve(nil, ie)
+			res, need, err = nil, 0, ie
+		}
+	}()
+	r, need, terr := sn.as.TryResult()
+	if terr != nil {
+		return nil, 0, sn.fail(terr)
+	}
+	if need > 0 {
+		return nil, need, nil
+	}
+	sn.resolve(r, nil)
+	return r, 0, nil
+}
+
+// Result is TryResult for callers done feeding: an undecided session
+// reports ErrNeedMoreAudio (wrapped with the missing sample count) instead
+// of a need.
+func (sn *Session) Result() (*core.Result, error) {
+	res, need, err := sn.TryResult()
+	if err != nil {
+		return nil, err
+	}
+	if need > 0 {
+		return nil, fmt.Errorf("%w: %d more samples required", ErrNeedMoreAudio, need)
+	}
+	return res, nil
+}
+
+// Close abandons an undecided session, resolving it to context.Canceled
+// and releasing its slot; after a decision it is a no-op. Idempotent.
+func (sn *Session) Close() {
+	sn.resolve(nil, context.Canceled)
+}

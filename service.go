@@ -127,12 +127,43 @@ func (s *Service) Authenticate(req AuthRequest) (*Decision, error) {
 // ErrClosed (service draining/closed), ErrInternal (recovered panic; the
 // service keeps serving).
 func (s *Service) AuthenticateContext(ctx context.Context, req AuthRequest) (*Decision, error) {
+	sreq, err := convertRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.svc.AuthenticateContext(ctx, sreq)
+	if err != nil {
+		// The typed sentinels and ctx.Err() pass through unwrapped so
+		// callers can match them directly; anything else gets the usual
+		// package prefix.
+		if ctxe := ctx.Err(); ctxe != nil && err == ctxe {
+			return nil, err
+		}
+		return nil, fmt.Errorf("piano: %w", err)
+	}
+	return toDecision(res), nil
+}
+
+// toDecision converts an internal session result to the public decision
+// shape (shared by the batch and streaming paths).
+func toDecision(res *core.Result) *Decision {
+	dec := &Decision{Granted: res.Granted, Reason: res.Reason, DistanceM: res.DistanceM}
+	if res.Session != nil {
+		dec.AuthTimeSec = res.Session.AuthTimeSec
+	}
+	return dec
+}
+
+// convertRequest validates a public AuthRequest at the public enum (the
+// internal conversion would otherwise silently map unknown environments to
+// Quiet) and translates it to the internal service request — shared by the
+// batch (AuthenticateContext) and streaming (OpenSessionContext) paths so
+// the two interpret requests identically.
+func convertRequest(req AuthRequest) (service.Request, error) {
 	var env acoustic.Environment
 	if req.Environment != 0 {
-		// Validate at the public enum before the internal conversion,
-		// which would otherwise silently map unknown values to Quiet.
 		if req.Environment < Quiet || req.Environment > Street {
-			return nil, fmt.Errorf("piano: unknown environment %d (known: Quiet through Street, or 0 for the service default)", int(req.Environment))
+			return service.Request{}, fmt.Errorf("piano: unknown environment %d (known: Quiet through Street, or 0 for the service default)", int(req.Environment))
 		}
 		env = req.Environment.internal()
 	}
@@ -149,21 +180,7 @@ func (s *Service) AuthenticateContext(ctx context.Context, req AuthRequest) (*De
 	for _, in := range req.Interferers {
 		sreq.Interferers = append(sreq.Interferers, conv(in))
 	}
-	res, err := s.svc.AuthenticateContext(ctx, sreq)
-	if err != nil {
-		// The typed sentinels and ctx.Err() pass through unwrapped so
-		// callers can match them directly; anything else gets the usual
-		// package prefix.
-		if ctxe := ctx.Err(); ctxe != nil && err == ctxe {
-			return nil, err
-		}
-		return nil, fmt.Errorf("piano: %w", err)
-	}
-	dec := &Decision{Granted: res.Granted, Reason: res.Reason, DistanceM: res.DistanceM}
-	if res.Session != nil {
-		dec.AuthTimeSec = res.Session.AuthTimeSec
-	}
-	return dec, nil
+	return sreq, nil
 }
 
 // Sessions returns the number of sessions the service has completed.

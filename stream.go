@@ -1,0 +1,148 @@
+package piano
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/acoustic-auth/piano/internal/core"
+	"github.com/acoustic-auth/piano/internal/service"
+)
+
+// Role names one of the two participants in a streaming session; each role
+// feeds its own microphone's PCM independently.
+type Role = core.Role
+
+// The two session roles.
+const (
+	// RoleAuth is the authenticating device (the voice-powered hub).
+	RoleAuth = core.RoleAuth
+	// RoleVouch is the vouching device (the user's wearable).
+	RoleVouch = core.RoleVouch
+)
+
+// Streaming-session failure modes; match with errors.Is.
+var (
+	// ErrStreamDecided: audio arrived after the session reached its
+	// decision (the decision is final; fetch it with Result).
+	ErrStreamDecided = service.ErrStreamDecided
+	// ErrFeedOverflow: a chunk would exceed the session's declared
+	// recording length. It was rejected whole — nothing was ingested —
+	// and the session stays open.
+	ErrFeedOverflow = service.ErrFeedOverflow
+	// ErrNeedMoreAudio: Result was called before enough audio had arrived
+	// to decide. Keep feeding and retry.
+	ErrNeedMoreAudio = service.ErrNeedMoreAudio
+)
+
+// AuthSession is one online authentication session: the protocol's
+// signal exchange runs at open time, and the session then ingests each
+// role's microphone audio in chunks — deciding as soon as both recordings
+// have revealed their reference signals, typically well before the
+// recordings end (EarlyFeedLen marks the guaranteed decision point).
+//
+// Determinism contract: the decision is bit-identical to Authenticate on
+// the same request — for any chunk sizes, any feeding interleaving, any
+// GOMAXPROCS, whether decided early or after the full feed.
+//
+// A session occupies one of the service's concurrent-session slots until
+// it resolves: reach a decision, or Close it. Methods are safe for
+// concurrent use; the intended shape is one feeder goroutine per role.
+type AuthSession struct {
+	sn *service.Session
+}
+
+// OpenSession opens a streaming session (OpenSessionContext with an
+// uncancellable context).
+func (s *Service) OpenSession(req AuthRequest) (*AuthSession, error) {
+	return s.OpenSessionContext(context.Background(), req)
+}
+
+// OpenSessionContext validates and admits a streaming session — the same
+// admission control, typed failures, and cancellation semantics as
+// AuthenticateContext — and runs the protocol's pre-audio steps, so the
+// returned session is ready to ingest PCM. Canceling ctx afterwards
+// resolves an undecided session to ctx's error.
+func (s *Service) OpenSessionContext(ctx context.Context, req AuthRequest) (*AuthSession, error) {
+	sreq, err := convertRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	sn, err := s.svc.OpenSession(ctx, sreq)
+	if err != nil {
+		return nil, wrapSessionErr(err)
+	}
+	return &AuthSession{sn: sn}, nil
+}
+
+// wrapSessionErr applies the package's error-wrapping convention: typed
+// sentinels and context errors pass through unwrapped (callers match them
+// directly), everything else gets the package prefix.
+func wrapSessionErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, ErrClosed),
+		errors.Is(err, ErrOverloaded),
+		errors.Is(err, ErrInternal),
+		errors.Is(err, ErrStreamDecided),
+		errors.Is(err, ErrFeedOverflow),
+		errors.Is(err, ErrNeedMoreAudio):
+		return err
+	}
+	return fmt.Errorf("piano: %w", err)
+}
+
+// Recording returns the role's complete simulated microphone recording —
+// the source the caller feeds chunks from (a real deployment would feed
+// live capture instead). Callers must not mutate it.
+func (a *AuthSession) Recording(role Role) []int16 { return a.sn.Recording(role) }
+
+// EarlyFeedLen returns the role's decision horizon in samples: once every
+// role has been fed at least this much, the session decides without the
+// rest of its recording. Feeding less may already suffice; feeding the
+// full recording always does.
+func (a *AuthSession) EarlyFeedLen(role Role) int { return a.sn.EarlyFeedLen(role) }
+
+// Fed returns how many samples of the role's recording have arrived.
+func (a *AuthSession) Fed(role Role) int { return a.sn.Fed(role) }
+
+// Feed ingests one chunk of the role's audio and advances its detection
+// incrementally. Typed failures: ErrFeedOverflow (chunk rejected whole,
+// session open), ErrStreamDecided (decision already made), ErrInternal
+// (the session died to a recovered panic and released its slot), or the
+// session context's error once canceled.
+func (a *AuthSession) Feed(role Role, pcm []int16) error {
+	return wrapSessionErr(a.sn.Feed(role, pcm))
+}
+
+// TryResult attempts the decision over the audio fed so far: need > 0
+// means the session is healthy but some role requires at least that many
+// more samples; need == 0 with a nil error is the final decision (cached —
+// later calls keep returning it).
+func (a *AuthSession) TryResult() (*Decision, int, error) {
+	res, need, err := a.sn.TryResult()
+	if err != nil {
+		return nil, 0, wrapSessionErr(err)
+	}
+	if need > 0 {
+		return nil, need, nil
+	}
+	return toDecision(res), 0, nil
+}
+
+// Result is TryResult for callers done feeding: an undecided session
+// reports ErrNeedMoreAudio instead of a need count.
+func (a *AuthSession) Result() (*Decision, error) {
+	res, err := a.sn.Result()
+	if err != nil {
+		return nil, wrapSessionErr(err)
+	}
+	return toDecision(res), nil
+}
+
+// Close abandons an undecided session and releases its service slot;
+// after a decision it is a no-op. Idempotent.
+func (a *AuthSession) Close() { a.sn.Close() }

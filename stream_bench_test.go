@@ -1,0 +1,123 @@
+package piano
+
+import (
+	"testing"
+)
+
+// benchStreamRequest is the BenchmarkOnline workload: one granted pair.
+func benchStreamRequest() AuthRequest {
+	return AuthRequest{
+		Auth:  DeviceSpec{Name: "hub", X: 0, Y: 0, ClockSkewPPM: 9},
+		Vouch: DeviceSpec{Name: "watch", X: 0.7, Y: 0, ClockSkewPPM: -13},
+		Seed:  321,
+	}
+}
+
+// BenchmarkOnline measures the online session against the batch path
+// (recorded in BENCH_online.json / PERFORMANCE.md):
+//
+//   - decision-latency: what streaming is for — the wall-clock from the
+//     LAST NEEDED sample's arrival to the decision. Everything up to the
+//     horizon is pre-fed untimed (that audio cost wall-clock time to
+//     record, not to compute); the timed region feeds the final chunk and
+//     resolves. The batch path's equivalent latency is a full detect scan,
+//     because it cannot start until the recording ends.
+//   - replay: the whole recording fed in one chunk, timed end to end —
+//     the streaming engine running batch-shaped work (its overhead bound).
+//   - batch: Authenticate on the same request, the PR-6 baseline. Its
+//     timed region is the WHOLE session (Steps I–VI including the scene
+//     render), while decision-latency and replay time only the post-open
+//     work — so replay plus the open cost (batch minus replay ≈ the
+//     render) bounds the streaming engine's overhead over the batch scan.
+func BenchmarkOnline(b *testing.B) {
+	const finalChunk = 4096
+	req := benchStreamRequest()
+
+	newSvc := func(b *testing.B) *Service {
+		svcCfg := DefaultServiceConfig()
+		svcCfg.Workers = 2
+		svc, err := NewService(svcCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return svc
+	}
+
+	b.Run("decision-latency", func(b *testing.B) {
+		svc := newSvc(b)
+		defer svc.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sess, err := svc.OpenSession(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-feed each role to its horizon minus the final chunk:
+			// the state of a live session one microphone callback before
+			// it can decide.
+			last := map[Role][2]int{}
+			for _, role := range []Role{RoleAuth, RoleVouch} {
+				horizon := sess.EarlyFeedLen(role)
+				cut := horizon - finalChunk
+				if cut < 0 {
+					cut = 0
+				}
+				if err := sess.Feed(role, sess.Recording(role)[:cut]); err != nil {
+					b.Fatal(err)
+				}
+				last[role] = [2]int{cut, horizon}
+			}
+			b.StartTimer()
+			for _, role := range []Role{RoleAuth, RoleVouch} {
+				if err := sess.Feed(role, sess.Recording(role)[last[role][0]:last[role][1]]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			dec, need, err := sess.TryResult()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if need != 0 || dec == nil {
+				b.Fatalf("horizon feed undecided: need=%d", need)
+			}
+		}
+	})
+
+	b.Run("replay", func(b *testing.B) {
+		svc := newSvc(b)
+		defer svc.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sess, err := svc.OpenSession(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for _, role := range []Role{RoleAuth, RoleVouch} {
+				if err := sess.Feed(role, sess.Recording(role)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := sess.Result(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("batch", func(b *testing.B) {
+		svc := newSvc(b)
+		defer svc.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Authenticate(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package piano
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestAuthSessionMatchesAuthenticate: the public streaming session must
+// decide bit-identically to the batch Authenticate call for the same
+// request, both when fed to the early horizon and when fed everything.
+func TestAuthSessionMatchesAuthenticate(t *testing.T) {
+	svc, err := NewService(DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	req := AuthRequest{
+		Auth:  DeviceSpec{Name: "hub"},
+		Vouch: DeviceSpec{Name: "watch", X: 0.7},
+		Seed:  11,
+	}
+	want, err := svc.Authenticate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, early := range []bool{false, true} {
+		sess, err := svc.OpenSession(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, role := range []Role{RoleAuth, RoleVouch} {
+			rec := sess.Recording(role)
+			limit := len(rec)
+			if early {
+				limit = sess.EarlyFeedLen(role)
+				if limit >= len(rec) {
+					t.Fatalf("horizon %d does not precede recording end %d", limit, len(rec))
+				}
+			}
+			for at := 0; at < limit; at += 4096 {
+				end := at + 4096
+				if end > limit {
+					end = limit
+				}
+				if err := sess.Feed(role, rec[at:end]); err != nil {
+					t.Fatalf("early=%v feed %v: %v", early, role, err)
+				}
+			}
+		}
+		got, err := sess.Result()
+		if err != nil {
+			t.Fatalf("early=%v: %v", early, err)
+		}
+		if got.Granted != want.Granted || got.Reason != want.Reason ||
+			math.Float64bits(got.DistanceM) != math.Float64bits(want.DistanceM) ||
+			math.Float64bits(got.AuthTimeSec) != math.Float64bits(want.AuthTimeSec) {
+			t.Fatalf("early=%v: streamed decision %+v != batch %+v", early, got, want)
+		}
+	}
+}
+
+// TestAuthSessionTypedErrors pins the public sentinels: premature Result,
+// over-length feed, post-decision feed, and post-Close admission.
+func TestAuthSessionTypedErrors(t *testing.T) {
+	svc, err := NewService(DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := AuthRequest{
+		Auth:  DeviceSpec{Name: "hub"},
+		Vouch: DeviceSpec{Name: "watch", X: 0.7},
+		Seed:  12,
+	}
+	sess, err := svc.OpenSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Result(); !errors.Is(err, ErrNeedMoreAudio) {
+		t.Fatalf("empty Result: %v, want ErrNeedMoreAudio", err)
+	}
+	rec := sess.Recording(RoleAuth)
+	if err := sess.Feed(RoleAuth, make([]int16, len(rec)+1)); !errors.Is(err, ErrFeedOverflow) {
+		t.Fatalf("over-length feed: %v, want ErrFeedOverflow", err)
+	}
+	for _, role := range []Role{RoleAuth, RoleVouch} {
+		if err := sess.Feed(role, sess.Recording(role)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sess.Result(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Feed(RoleVouch, make([]int16, 1)); !errors.Is(err, ErrStreamDecided) {
+		t.Fatalf("post-decision feed: %v, want ErrStreamDecided", err)
+	}
+	svc.Close()
+	if _, err := svc.OpenSession(req); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close open: %v, want ErrClosed", err)
+	}
+}
