@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-chaos bench bench-smoke bench-auth bench-detect bench-fine bench-render bench-service bench-online cover docs-check clean
+.PHONY: all build vet test test-race test-chaos test-lifecycle bench bench-smoke bench-auth bench-detect bench-fine bench-render bench-service bench-online bench-lifecycle cover docs-check clean
 
 all: vet build test
 
@@ -24,6 +24,13 @@ test-race:
 # leave the service serviceable (ARCHITECTURE.md "Failure semantics").
 test-chaos:
 	$(GO) test -race -run TestChaos ./internal/service/ ./internal/faultinject/
+
+# Session-lifecycle suite under the race detector: watchdog reaping
+# (stalled/expired sessions resolve typed, slots come back after abandoned-
+# session storms), arrival-model determinism (jittered live-microphone
+# feeds decide bit-identically to batch), and client retry/backoff.
+test-lifecycle:
+	$(GO) test -race -run 'TestLifecycle|TestChaosLifecycle|TestArrival|TestSessionArrival|TestRetry|TestServiceLifecycle' ./internal/service/ ./internal/arrival/ .
 
 # Full benchmark suite with allocation stats (slow: runs every paper figure).
 bench:
@@ -64,6 +71,13 @@ bench-fine:
 # path on the same request (BENCH_online.json / PERFORMANCE.md).
 bench-online:
 	$(GO) test -run '^$$' -bench 'BenchmarkOnline' -benchmem -count=3 -benchtime 10x .
+
+# Lifecycle-watchdog overhead: the batch hot path and the streaming replay
+# with generous idle/lifetime bounds armed (watchdog goroutine live) vs the
+# PR-7 no-watchdog paths — must stay within noise (BENCH_lifecycle.json /
+# PERFORMANCE.md).
+bench-lifecycle:
+	$(GO) test -run '^$$' -bench 'BenchmarkAuthentication$$|BenchmarkOnline' -benchmem -count=3 -benchtime 10x .
 
 # The acoustic renderer: per-tap (RenderNaive oracle) vs composite-kernel
 # mixing, interleaved A/B at several tap counts (BENCH_render.json /

@@ -14,6 +14,13 @@
 // -chaos arms the fault-injection registry (seeded by -chaos-seed) so the
 // hardened failure paths — admission stalls, session panics, slow scans —
 // can be watched from the command line.
+//
+// -stream switches to the online session API driven by the arrival
+// traffic model (internal/arrival): jittered chunk sizes and gaps
+// (-jitter), underrun backlog bursts (-underrun), and clients that stall
+// or vanish mid-feed (-abandon-rate), with the service's lifecycle
+// watchdog armed so abandoned sessions are reaped with typed errors and
+// their slots reclaimed during the drain.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"github.com/acoustic-auth/piano"
+	"github.com/acoustic-auth/piano/internal/arrival"
 	"github.com/acoustic-auth/piano/internal/faultinject"
 )
 
@@ -68,6 +76,10 @@ func workload(sessions int) []piano.AuthRequest {
 // shedCategory buckets a failed session for the shutdown/chaos report.
 func shedCategory(err error) string {
 	switch {
+	case errors.Is(err, piano.ErrSessionStalled):
+		return "stalled"
+	case errors.Is(err, piano.ErrSessionExpired):
+		return "expired"
 	case errors.Is(err, piano.ErrOverloaded):
 		return "overloaded"
 	case errors.Is(err, piano.ErrClosed):
@@ -81,18 +93,69 @@ func shedCategory(err error) string {
 	}
 }
 
-// runStreamDemo drives the online session API with simulated live
-// microphones: each role's audio arrives in chunk-ms chunks at stream-pace
-// times real time, and the session decides the moment both recordings have
-// revealed their signals — while the tails are still "being recorded". For
-// every session it verifies the early decision against the batch path and
-// reports the time-to-decision both ways.
-func runStreamDemo(ctx context.Context, w io.Writer, reqs []piano.AuthRequest, workers int, pace float64, chunkMS int) error {
-	if chunkMS <= 0 {
-		return fmt.Errorf("chunk-ms must be positive, got %d", chunkMS)
+// shedCategories is the report order for shed buckets.
+var shedCategories = []string{"stalled", "expired", "overloaded", "closed", "internal", "canceled", "other"}
+
+// printShed reports the shed map in category order.
+func printShed(w io.Writer, shed map[string]int, total, completed int) {
+	if len(shed) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nshed %d/%d sessions:", total-completed, total)
+	for _, cat := range shedCategories {
+		if n := shed[cat]; n > 0 {
+			fmt.Fprintf(w, " %s=%d", cat, n)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// streamOpts bundles the -stream driver's knobs.
+type streamOpts struct {
+	pace         float64       // audio arrival speed vs real time (0 = flat out)
+	chunkMS      int           // nominal microphone chunk period
+	jitter       float64       // ± fractional spread on chunk sizes and gaps
+	underrun     float64       // per-chunk underrun-burst probability
+	abandonRate  float64       // probability a client stalls/abandons mid-feed
+	drainTimeout time.Duration // shutdown bound for resolving open sessions
+}
+
+// runStreamDemo drives the online session API through the arrival traffic
+// model: each role's audio arrives with jittered chunk sizes and gaps,
+// underrun backlog bursts, and — at -abandon-rate — clients that stall or
+// vanish mid-feed without closing their session. The service runs with a
+// lifecycle watchdog armed, so abandoned sessions are reaped with typed
+// errors and their slots reclaimed; healthy sessions decide the moment
+// both recordings have revealed their signals, verified bit-identical
+// against the batch path.
+func runStreamDemo(ctx context.Context, w io.Writer, reqs []piano.AuthRequest, workers int, o streamOpts) error {
+	if o.chunkMS <= 0 {
+		return fmt.Errorf("chunk-ms must be positive, got %d", o.chunkMS)
+	}
+	arrCfg := arrival.Config{
+		ChunkMS:      o.chunkMS,
+		Jitter:       o.jitter,
+		UnderrunProb: o.underrun,
+		StallProb:    o.abandonRate / 2,
+		AbandonProb:  o.abandonRate - o.abandonRate/2,
+	}
+	if _, err := arrival.New(arrCfg, 1); err != nil {
+		return err
+	}
+
+	// Arm the lifecycle watchdog: the idle bound must comfortably exceed
+	// the longest legitimate inter-chunk gap the model can draw (jittered
+	// period plus a worst-case underrun), scaled by the pace.
+	idle := 250 * time.Millisecond
+	if o.pace > 0 {
+		maxGapMS := (float64(o.chunkMS)*(1+o.jitter) + 250) / o.pace
+		if with := time.Duration(4 * maxGapMS * float64(time.Millisecond)); with > idle {
+			idle = with
+		}
 	}
 	svcCfg := piano.DefaultServiceConfig()
 	svcCfg.Workers = workers
+	svcCfg.SessionIdleTimeout = idle
 	svc, err := piano.NewService(svcCfg)
 	if err != nil {
 		return err
@@ -102,12 +165,15 @@ func runStreamDemo(ctx context.Context, w io.Writer, reqs []piano.AuthRequest, w
 	// The session devices' nominal sampling rate (piano.DeviceSpec pairs
 	// run at the prototype's 44.1 kHz).
 	const rate = 44100.0
-	chunk := int(rate * float64(chunkMS) / 1000)
-	fmt.Fprintf(w, "piano-serve -stream: %d sessions, %d ms chunks (%d samples), pace %gx real time\n\n",
-		len(reqs), chunkMS, chunk, pace)
+	fmt.Fprintf(w, "piano-serve -stream: %d sessions, ~%d ms chunks ±%.0f%%, underrun p=%.2f, abandon p=%.2f, pace %gx\n",
+		len(reqs), o.chunkMS, 100*o.jitter, o.underrun, o.abandonRate, o.pace)
+	fmt.Fprintf(w, "lifecycle watchdog: SessionIdleTimeout %v (stalled clients reaped, slots reclaimed)\n\n", idle)
 
 	roles := []piano.Role{piano.RoleAuth, piano.RoleVouch}
 	var sumAudio, sumFull, sumStreamWall, sumBatchWall float64
+	var pending []*piano.AuthSession // abandoned/interrupted sessions, left to the watchdog
+	underruns := 0
+	fates := map[arrival.Kind]int{}
 	done := 0
 	for i, req := range reqs {
 		if ctx.Err() != nil {
@@ -129,38 +195,57 @@ func runStreamDemo(ctx context.Context, w io.Writer, reqs []piano.AuthRequest, w
 			}
 			return err
 		}
+		// One deterministic arrival source per role: this client's
+		// microphone schedule, replayable from the request seed.
+		src := map[piano.Role]*arrival.Source{}
+		for ri, role := range roles {
+			if src[role], err = arrival.New(arrCfg, req.Seed*2+int64(ri)); err != nil {
+				return err
+			}
+		}
 		at := map[piano.Role]int{}
+		var gone arrival.Kind // Stall or Abandon once this client fails
+		var failed bool
 		start := time.Now()
 		var dec *piano.Decision
-		for dec == nil {
-			if pace > 0 {
-				time.Sleep(time.Duration(float64(chunkMS) / pace * float64(time.Millisecond)))
-			}
+		for dec == nil && !failed {
+			var gap time.Duration
 			fedAny := false
 			for _, role := range roles {
 				rec := sess.Recording(role)
-				if at[role] >= len(rec) {
-					continue
-				}
-				end := at[role] + chunk
-				if end > len(rec) {
-					end = len(rec)
-				}
-				if err := sess.Feed(role, rec[at[role]:end]); err != nil {
-					if ctx.Err() != nil {
-						fmt.Fprintf(w, "interrupted: %d/%d streamed sessions completed\n", done, len(reqs))
-						return nil
+				ev := src[role].Next(at[role], len(rec))
+				switch ev.Kind {
+				case arrival.Chunk, arrival.Underrun:
+					if ev.Kind == arrival.Underrun {
+						underruns++
 					}
-					return err
+					if ev.Gap > gap {
+						gap = ev.Gap
+					}
+					if err := sess.Feed(role, rec[at[role]:at[role]+ev.N]); err != nil {
+						if ctx.Err() != nil {
+							pending = append(pending, sess)
+							goto drain
+						}
+						return err
+					}
+					at[role] = at[role] + ev.N
+					fedAny = true
+				case arrival.Stall, arrival.Abandon:
+					gone, failed = ev.Kind, true
 				}
-				at[role] = end
-				fedAny = true
+			}
+			if failed {
+				break
+			}
+			if o.pace > 0 {
+				time.Sleep(time.Duration(float64(gap) / o.pace))
 			}
 			d, need, err := sess.TryResult()
 			if err != nil {
 				if ctx.Err() != nil {
-					fmt.Fprintf(w, "interrupted: %d/%d streamed sessions completed\n", done, len(reqs))
-					return nil
+					pending = append(pending, sess)
+					goto drain
 				}
 				return err
 			}
@@ -169,6 +254,16 @@ func runStreamDemo(ctx context.Context, w io.Writer, reqs []piano.AuthRequest, w
 			} else if !fedAny {
 				return fmt.Errorf("session %d: undecided after the full feed (need %d)", i, need)
 			}
+		}
+		if failed {
+			// The client vanished without closing its session. Do exactly
+			// what a real dead client does — nothing — and let the
+			// lifecycle watchdog reclaim the slot.
+			fates[gone]++
+			pending = append(pending, sess)
+			fmt.Fprintf(w, "  session %2d: client %-8v after %4.0f ms of audio — left to the watchdog\n",
+				i, gone, math.Max(float64(at[roles[0]]), float64(at[roles[1]]))/rate*1e3)
+			continue
 		}
 		streamWall := time.Since(start)
 
@@ -187,21 +282,68 @@ func runStreamDemo(ctx context.Context, w io.Writer, reqs []piano.AuthRequest, w
 		fmt.Fprintf(w, "  session %2d: %-45s decided on %4.0f of %4.0f ms of audio (%.0f%%)\n",
 			i, dec.Reason, audioSec*1e3, fullSec*1e3, 100*audioSec/fullSec)
 	}
-	if ctx.Err() != nil && done < len(reqs) {
+
+drain:
+	// Shutdown/drain: every abandoned or interrupted session must resolve
+	// with a typed error within the drain budget — the watchdog reaps
+	// stalled clients (ErrSessionStalled), an interrupt cancels via the
+	// session context — and its slot must come back. Sessions still open
+	// at the deadline are closed explicitly so nothing leaks.
+	shed := map[string]int{}
+	lateDecided := 0
+	if len(pending) > 0 {
+		fmt.Fprintf(w, "\ndraining %d unresolved sessions (budget %v)...\n", len(pending), o.drainTimeout)
+		deadline := time.Now().Add(o.drainTimeout)
+		for _, sn := range pending {
+			for {
+				_, need, err := sn.TryResult()
+				if err != nil {
+					shed[shedCategory(err)]++
+					break
+				}
+				if need == 0 {
+					// The client vanished, but the audio it had already fed
+					// crossed the decision horizon — the session decides
+					// instead of stalling out.
+					lateDecided++
+					break
+				}
+				if time.Now().After(deadline) {
+					sn.Close()
+					shed["closed"]++
+					break
+				}
+				// Poll gently: a TryResult in flight counts as session
+				// activity (a scan is work, not a stall), so a hot poll
+				// loop would itself keep shrinking the watchdog's window.
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+		if lateDecided > 0 {
+			fmt.Fprintf(w, "%d abandoned sessions had already fed past the decision horizon and decided during the drain\n", lateDecided)
+		}
+	}
+	printShed(w, shed, len(reqs), len(reqs)-len(pending)+lateDecided)
+	if ctx.Err() != nil {
 		fmt.Fprintf(w, "interrupted: %d/%d streamed sessions completed\n", done, len(reqs))
 		return nil
 	}
 
 	if done == 0 {
-		fmt.Fprintln(w, "no sessions to stream")
+		fmt.Fprintln(w, "no sessions decided")
 		return nil
 	}
 	n := float64(done)
-	fmt.Fprintf(w, "\nall %d streamed decisions bit-identical to the batch path\n", done)
+	fmt.Fprintf(w, "\nall %d streamed decisions bit-identical to the batch path", done)
+	if underruns > 0 || fates[arrival.Stall]+fates[arrival.Abandon] > 0 {
+		fmt.Fprintf(w, " (through %d underrun bursts; %d stalls and %d abandons reaped)",
+			underruns, fates[arrival.Stall], fates[arrival.Abandon])
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintf(w, "time-to-decision (audio):  streaming %6.0f ms avg vs %6.0f ms full recording (%.0f%% saved)\n",
 		sumAudio/n*1e3, sumFull/n*1e3, 100*(1-sumAudio/sumFull))
 	fmt.Fprintf(w, "wall clock per session:    streaming %6.1f ms avg (paced %gx), batch scan-after-the-fact %6.1f ms\n",
-		sumStreamWall/n*1e3, pace, sumBatchWall/n*1e3)
+		sumStreamWall/n*1e3, o.pace, sumBatchWall/n*1e3)
 	fmt.Fprintln(w, "\n(a batch deployment must wait out the whole recording before scanning;")
 	fmt.Fprintln(w, " the streaming session scans as audio arrives and decides at the protocol")
 	fmt.Fprintln(w, " horizon — see ARCHITECTURE.md \"Online session\" and BENCH_online.json)")
@@ -215,16 +357,26 @@ func runCtx(ctx context.Context, w io.Writer, args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight sessions to drain")
 	chaos := fs.Bool("chaos", false, "inject faults (admission stalls, session panics, slow scans) into the service pass")
 	chaosSeed := fs.Int64("chaos-seed", 42, "fault-injection RNG seed (with -chaos)")
-	stream := fs.Bool("stream", false, "run the online streaming demo: chunked live-microphone arrival, decide before the recording ends")
+	stream := fs.Bool("stream", false, "run the online streaming demo: live-microphone arrival model, decide before the recording ends")
 	streamPace := fs.Float64("stream-pace", 1.0, "audio arrival speed as a multiple of real time (0 = feed as fast as possible; with -stream)")
-	chunkMS := fs.Int("chunk-ms", 20, "simulated microphone chunk size in milliseconds (with -stream)")
+	chunkMS := fs.Int("chunk-ms", 20, "nominal microphone chunk size in milliseconds (with -stream)")
+	jitter := fs.Float64("jitter", 0.2, "± fractional spread on chunk sizes and inter-chunk gaps, 0 ≤ j < 1 (with -stream)")
+	underrun := fs.Float64("underrun", 0.05, "per-chunk probability of an underrun backlog burst (with -stream)")
+	abandonRate := fs.Float64("abandon-rate", 0, "probability a client stalls or abandons mid-feed, leaving its session to the watchdog (with -stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	reqs := workload(*sessions)
 
 	if *stream {
-		return runStreamDemo(ctx, w, reqs, *workers, *streamPace, *chunkMS)
+		return runStreamDemo(ctx, w, reqs, *workers, streamOpts{
+			pace:         *streamPace,
+			chunkMS:      *chunkMS,
+			jitter:       *jitter,
+			underrun:     *underrun,
+			abandonRate:  *abandonRate,
+			drainTimeout: *drainTimeout,
+		})
 	}
 
 	fmt.Fprintf(w, "piano-serve: %d sessions, %d cores\n\n", len(reqs), runtime.GOMAXPROCS(0))
@@ -336,15 +488,7 @@ func runCtx(ctx context.Context, w io.Writer, args []string) error {
 		fmt.Fprintln(w)
 	}
 
-	if len(shed) > 0 {
-		fmt.Fprintf(w, "\nshed %d/%d sessions:", len(reqs)-completed, len(reqs))
-		for _, cat := range []string{"overloaded", "closed", "internal", "canceled", "other"} {
-			if n := shed[cat]; n > 0 {
-				fmt.Fprintf(w, " %s=%d", cat, n)
-			}
-		}
-		fmt.Fprintln(w)
-	}
+	printShed(w, shed, len(reqs), completed)
 	if interrupted {
 		fmt.Fprintf(w, "interrupted: admission stopped, %d in-flight sessions drained\n", completed)
 		return nil

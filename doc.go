@@ -65,6 +65,19 @@
 // ARCHITECTURE.md's "The online session" section explains the early
 // horizon; cmd/piano-serve's -stream flag demonstrates it live.
 //
+// # Living with real clients
+//
+// Real clients misbehave: they vanish mid-feed without closing their
+// session, and they arrive during overload spikes. ServiceConfig's
+// SessionIdleTimeout and SessionMaxLifetime arm a lifecycle watchdog that
+// resolves abandoned streaming sessions with typed errors
+// (ErrSessionStalled / ErrSessionExpired, both matching ErrSessionReaped)
+// and reclaims their slots; AuthenticateWithRetry applies a RetryPolicy —
+// capped exponential backoff with deterministic seeded jitter — that
+// retries only ErrOverloaded, the one failure that heals by waiting.
+// ARCHITECTURE.md's "Session lifecycle" diagram shows every resolution
+// path; cmd/piano-serve's -abandon-rate flag demonstrates reaping live.
+//
 // # Under the hood
 //
 // Each session renders a seeded acoustic scene (internal/world) through the

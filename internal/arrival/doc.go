@@ -1,0 +1,19 @@
+// Package arrival models live-microphone traffic: how a real client's
+// audio actually reaches a streaming authentication session. Real capture
+// pipelines do not deliver tidy fixed-size chunks on a metronome — chunk
+// sizes and inter-chunk gaps jitter with device scheduling, pipelines
+// starve and deliver backlog bursts (underruns), and clients stall or
+// vanish mid-feed without closing the session.
+//
+// A Source turns a (Config, seed) pair into a deterministic event
+// schedule: the same seed replays the same chunking, gaps, and failure
+// point, so a flaky-looking live feed is exactly reproducible in a test —
+// and, because the streaming engine's decisions are bit-identical under
+// any chunking, a jittered, underrun-riddled feed must decide exactly what
+// the batch path decides. That property is what the service-level arrival
+// tests pin.
+//
+// The model drives both the test suites (chunk-partition property tests,
+// lifecycle chaos storms) and the piano-serve -stream demo, where
+// -jitter, -underrun, and -abandon-rate map onto Config fields.
+package arrival

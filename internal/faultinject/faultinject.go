@@ -32,6 +32,13 @@ const (
 	// here simulates a feeder-goroutine crash, which resolves the whole
 	// session to ErrInternal; delay simulates a stalled audio source.
 	SiteStreamFeed = "service.feed"
+	// SiteServiceWatchdog fires once per lifecycle-watchdog sweep, before
+	// any open session's idle/lifetime deadlines are checked. An error
+	// skips that sweep (the watchdog stays alive and sweeps again next
+	// tick); a panic is recovered by the watchdog (one lost sweep, never a
+	// dead watchdog); delay simulates a late watchdog racing Close; a Hook
+	// can trigger Close mid-sweep to pin the reap/drain race.
+	SiteServiceWatchdog = "service.watchdog"
 )
 
 // Action says what a triggered Fault does to the firing goroutine.

@@ -45,4 +45,18 @@
 // recovered panics (ErrInternal). Feed-protocol sentinels
 // (ErrNeedMoreAudio, ErrFeedOverflow, ErrStreamDecided) report misuse
 // without resolving the session.
+//
+// Session lifecycle (PR 8): a client that vanishes mid-feed without
+// closing would leak its slot forever, so Config.SessionIdleTimeout and
+// Config.SessionMaxLifetime (both 0 = legacy unbounded) arm a per-service
+// lifecycle watchdog that resolves stalled sessions (no successful Feed
+// within the idle bound) to ErrSessionStalled and over-age sessions to
+// ErrSessionExpired — both through the same first-writer-wins path, both
+// matching the ErrSessionReaped category. Time inside an in-flight
+// Feed/TryResult does not count as idle (a long scan is work, not a
+// stall) and refused chunks do not reset the idle clock. New rejects
+// negative durations with ErrConfig. The slot-leak storm test proves
+// every MaxSessions slot is recoverable after a storm of abandoned
+// sessions, and the watchdog chaos tests race sweeps against Close under
+// fault injection (the service.watchdog site).
 package service

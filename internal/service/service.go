@@ -84,6 +84,25 @@ type Config struct {
 	// ErrOverloaded (SEDA-style admission control: bounded queue, bounded
 	// wait, load shedding beyond both). 0 means unbounded.
 	MaxQueueDepth int
+	// SessionIdleTimeout bounds the gap between successful Feed calls on a
+	// streaming session (the open→first-Feed gap counts too). A session
+	// idle past it is resolved with ErrSessionStalled by the lifecycle
+	// watchdog, releasing its MaxSessions slot — a client that opens a
+	// session and vanishes cannot leak a slot. Failed feeds (overflow, an
+	// injected fault) do not reset the clock: refused chunks are not
+	// progress. Time spent inside an in-flight Feed call does not count
+	// toward the gap — a scan that outruns the bound on a loaded box is
+	// work, not a stall (SessionMaxLifetime bounds it instead). 0 (the
+	// default) disables the bound — the legacy unbounded behaviour.
+	// Enforcement granularity is a quarter of the tightest enabled bound,
+	// clamped to [1ms, 1s].
+	SessionIdleTimeout time.Duration
+	// SessionMaxLifetime bounds a streaming session's whole open→resolution
+	// span, however actively it is fed; past it the watchdog resolves the
+	// session with ErrSessionExpired. A client feeding one sample per
+	// second is making "progress" the idle bound never sees — this bound
+	// caps the total slot-hold time. 0 disables it.
+	SessionMaxLifetime time.Duration
 }
 
 // DeviceSpec describes one session device's placement and hardware quirks
@@ -128,6 +147,10 @@ type AuthService struct {
 	sem      chan struct{} // session slots
 	draining chan struct{} // closed when Close begins: sheds queued waiters
 
+	// watchdogDone is closed when the lifecycle watchdog goroutine exits
+	// (nil when no lifecycle bound is configured — no watchdog runs).
+	watchdogDone chan struct{}
+
 	mu       sync.Mutex
 	closed   bool
 	waiters  int // requests currently queued for a slot
@@ -142,6 +165,9 @@ type AuthService struct {
 func New(cfg Config) (*AuthService, error) {
 	if err := cfg.Core.Validate(); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
+	}
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -170,7 +196,7 @@ func New(cfg Config) (*AuthService, error) {
 		pool.Close()
 		return nil, fmt.Errorf("service: %w", err)
 	}
-	return &AuthService{
+	s := &AuthService{
 		cfg:      cfg,
 		pool:     pool,
 		det:      det,
@@ -178,7 +204,12 @@ func New(cfg Config) (*AuthService, error) {
 		sem:      make(chan struct{}, cfg.MaxSessions),
 		draining: make(chan struct{}),
 		streams:  make(map[*Session]struct{}),
-	}, nil
+	}
+	if every := watchdogInterval(cfg.SessionIdleTimeout, cfg.SessionMaxLifetime); every > 0 {
+		s.watchdogDone = make(chan struct{})
+		go s.watchdog(every)
+	}
+	return s, nil
 }
 
 // Config returns the service configuration (after defaulting).
@@ -506,5 +537,11 @@ func (s *AuthService) Close() {
 		sn.resolve(nil, ErrClosed)
 	}
 	s.inFlight.Wait()
+	// The watchdog exits on draining; a sweep racing this drain can only
+	// lose the first-writer-wins race on sessions Close already resolved.
+	// Waiting for it here means Close never leaves a goroutine behind.
+	if s.watchdogDone != nil {
+		<-s.watchdogDone
+	}
 	s.pool.Close()
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/acoustic-auth/piano/internal/core"
 	"github.com/acoustic-auth/piano/internal/detect"
@@ -34,14 +36,29 @@ var (
 //
 // A Session occupies one of the service's MaxSessions slots from OpenSession
 // until it resolves — by decision, by error, by Close (either the session's
-// or the service's), or by context cancellation. Every resolution path
-// releases the slot exactly once. The methods are safe for concurrent use;
-// the intended shape is one feeder goroutine per role.
+// or the service's), by context cancellation, or by the lifecycle watchdog
+// (ErrSessionStalled past Config.SessionIdleTimeout, ErrSessionExpired past
+// Config.SessionMaxLifetime). Every resolution path releases the slot
+// exactly once. The methods are safe for concurrent use; the intended shape
+// is one feeder goroutine per role.
 type Session struct {
 	svc    *AuthService
 	as     *core.AuthStream
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// Lifecycle-watchdog clocks: when the session was opened, and the
+	// UnixNano of the last successful Feed (initialized to the open time,
+	// so the open→first-Feed gap is bounded too). lastFeed is atomic
+	// because feeders store it while the watchdog loads it off-lock.
+	// active counts Feed/TryResult calls currently running: while it is
+	// nonzero the client is mid-delivery (or waiting on the decision scan)
+	// and the idle clock does not tick — a scan that outlasts
+	// SessionIdleTimeout is work, not a stall (only SessionMaxLifetime
+	// bounds it).
+	opened   time.Time
+	lastFeed atomic.Int64
+	active   atomic.Int32
 
 	mu       sync.Mutex
 	resolved bool
@@ -110,7 +127,8 @@ func (s *AuthService) openStream(ctx context.Context, req Request) (sess *Sessio
 		}
 		return nil, fmt.Errorf("service: %w", err)
 	}
-	sess = &Session{svc: s, as: as, ctx: sctx, cancel: cancel}
+	sess = &Session{svc: s, as: as, ctx: sctx, cancel: cancel, opened: time.Now()}
+	sess.lastFeed.Store(sess.opened.UnixNano())
 	// Register under the service lock, re-checking closed: a Close racing
 	// this open may already have swept the streams map, and a session
 	// registered after the sweep would never be force-resolved.
@@ -175,6 +193,14 @@ func (sn *Session) fail(err error) error {
 	}
 	if ctxe := sn.ctx.Err(); ctxe != nil && errors.Is(err, ctxe) {
 		sn.resolve(nil, ctxe)
+		// The session context is also canceled by resolve itself, so a
+		// feed whose scan was interrupted because the watchdog (or Close)
+		// resolved the session first reports the session's actual
+		// resolution error, not a bare context error — callers see the
+		// same typed outcome no matter when their feed lost the race.
+		if _, rerr, done := sn.outcome(); done && rerr != nil {
+			return rerr
+		}
 		return ctxe
 	}
 	return fmt.Errorf("service: %w", err)
@@ -207,6 +233,8 @@ func (sn *Session) Feed(role core.Role, pcm []int16) (err error) {
 		}
 		return ErrStreamDecided
 	}
+	sn.active.Add(1)
+	defer sn.active.Add(-1)
 	defer func() {
 		if r := recover(); r != nil {
 			ie := &InternalError{Panic: r, Stack: debug.Stack()}
@@ -223,6 +251,10 @@ func (sn *Session) Feed(role core.Role, pcm []int16) (err error) {
 	if ferr := sn.as.Feed(role, pcm); ferr != nil {
 		return sn.fail(ferr)
 	}
+	// Only a successful feed resets the idle clock: refused chunks
+	// (overflow, injected faults) are not progress, so a client spamming
+	// garbage still stalls out.
+	sn.lastFeed.Store(time.Now().UnixNano())
 	return nil
 }
 
@@ -237,6 +269,8 @@ func (sn *Session) TryResult() (res *core.Result, need int, err error) {
 	if r, rerr, done := sn.outcome(); done {
 		return r, 0, rerr
 	}
+	sn.active.Add(1)
+	defer sn.active.Add(-1)
 	defer func() {
 		if r := recover(); r != nil {
 			ie := &InternalError{Panic: r, Stack: debug.Stack()}

@@ -1,0 +1,138 @@
+package piano
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy is a client-side backoff policy for transient admission
+// failures: capped exponential backoff with deterministic, seeded jitter.
+// The zero value is a sensible default (4 attempts, 50 ms base doubling to
+// a 2 s cap, no jitter).
+//
+// Only ErrOverloaded is retryable — it is the one failure that means "the
+// service is healthy but momentarily full, try again". Every other failure
+// is final: ErrClosed will not heal, validation errors will not heal,
+// ErrInternal already consumed the request's session, and a context error
+// is the caller's own signal to stop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, first call included
+	// (0 → 4). 1 means no retries.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry (0 → 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay (0 → 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between retries (0 → 2).
+	Multiplier float64
+	// Jitter spreads each delay by a ± fraction in [0, 1), desynchronizing
+	// clients that were shed by the same overload spike. 0 disables it.
+	Jitter float64
+	// Seed drives the jitter draws (0 → 1). Equal policies with equal
+	// seeds back off identically — retry schedules are as reproducible as
+	// the sessions they retry.
+	Seed int64
+}
+
+// withDefaults fills the zero-value fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// validate rejects policies that would silently misbehave.
+func (p RetryPolicy) validate() error {
+	switch {
+	case p.MaxAttempts < 0:
+		return fmt.Errorf("%w: RetryPolicy.MaxAttempts %d is negative", ErrConfig, p.MaxAttempts)
+	case p.BaseDelay < 0:
+		return fmt.Errorf("%w: RetryPolicy.BaseDelay %v is negative", ErrConfig, p.BaseDelay)
+	case p.MaxDelay < 0:
+		return fmt.Errorf("%w: RetryPolicy.MaxDelay %v is negative", ErrConfig, p.MaxDelay)
+	case p.MaxDelay < p.BaseDelay:
+		return fmt.Errorf("%w: RetryPolicy.MaxDelay %v below BaseDelay %v", ErrConfig, p.MaxDelay, p.BaseDelay)
+	case p.Multiplier < 0 || (p.Multiplier > 0 && p.Multiplier < 1):
+		return fmt.Errorf("%w: RetryPolicy.Multiplier %g below 1", ErrConfig, p.Multiplier)
+	case p.Jitter < 0 || p.Jitter >= 1:
+		return fmt.Errorf("%w: RetryPolicy.Jitter %g outside [0, 1)", ErrConfig, p.Jitter)
+	}
+	return nil
+}
+
+// delay returns the wait before retry number retry (0-based), jittered.
+func (p RetryPolicy) delay(retry int, rng *rand.Rand) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 0; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	// One draw per retry regardless of Jitter, so schedules stay aligned
+	// across policies that differ only in Jitter.
+	u := rng.Float64()
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*u-1)
+	}
+	return time.Duration(d)
+}
+
+// AuthenticateWithRetry is AuthenticateContext under a RetryPolicy: an
+// ErrOverloaded shed backs off (capped exponential, seeded jitter,
+// ctx-aware) and tries again, up to the policy's attempt budget. Every
+// other failure — typed rejections, validation errors, context errors, and
+// decisions most of all — returns immediately; retrying can never change a
+// decision, only recover from a full queue. When the budget runs out the
+// last ErrOverloaded is returned wrapped with the attempt count (still
+// matchable with errors.Is).
+func (s *Service) AuthenticateWithRetry(ctx context.Context, req AuthRequest, policy RetryPolicy) (*Decision, error) {
+	policy = policy.withDefaults()
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rng := rand.New(rand.NewSource(policy.Seed))
+	var err error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(policy.delay(attempt-1, rng))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		var dec *Decision
+		dec, err = s.AuthenticateContext(ctx, req)
+		if err == nil {
+			return dec, nil
+		}
+		if !errors.Is(err, ErrOverloaded) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("piano: gave up after %d attempts: %w", policy.MaxAttempts, err)
+}

@@ -24,6 +24,21 @@ var (
 	// itself keeps serving. The *service.InternalError in the chain
 	// carries the panic value and stack.
 	ErrInternal = service.ErrInternal
+	// ErrConfig: NewService (or a RetryPolicy) rejected its configuration;
+	// the message names the offending field.
+	ErrConfig = service.ErrConfig
+	// ErrSessionReaped is the category sentinel for lifecycle-watchdog
+	// resolutions: errors.Is matches it for both ErrSessionStalled and
+	// ErrSessionExpired.
+	ErrSessionReaped = service.ErrSessionReaped
+	// ErrSessionStalled: the gap between successful Feed calls (or between
+	// open and the first Feed) exceeded SessionIdleTimeout, and the
+	// watchdog resolved the session, releasing its slot.
+	ErrSessionStalled = service.ErrSessionStalled
+	// ErrSessionExpired: the session stayed unresolved past
+	// SessionMaxLifetime — however actively it was fed — and the watchdog
+	// resolved it.
+	ErrSessionExpired = service.ErrSessionExpired
 )
 
 // ServiceConfig configures a long-lived authentication Service.
@@ -47,6 +62,19 @@ type ServiceConfig struct {
 	// once; requests beyond it shed immediately with ErrOverloaded.
 	// Default (0): unbounded.
 	MaxQueueDepth int
+	// SessionIdleTimeout bounds the gap between successful Feed calls on a
+	// streaming session (and between open and the first Feed). A session
+	// idle past it is resolved ErrSessionStalled by the lifecycle watchdog
+	// and its slot released — the defense against clients that vanish
+	// mid-feed without closing. Time inside an in-flight Feed or
+	// Result/TryResult call does not count as idle. Default (0): no idle
+	// bound; negative values are rejected with ErrConfig.
+	SessionIdleTimeout time.Duration
+	// SessionMaxLifetime bounds a streaming session's total open-to-
+	// resolution time, however actively it is fed; past it the watchdog
+	// resolves the session ErrSessionExpired. Default (0): no lifetime
+	// bound; negative values are rejected with ErrConfig.
+	SessionMaxLifetime time.Duration
 }
 
 // DefaultServiceConfig mirrors DefaultConfig for the service surface:
@@ -98,11 +126,13 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	coreCfg.World.Environment = cfg.Environment.internal()
 	coreCfg.ThresholdM = cfg.ThresholdM
 	svc, err := service.New(service.Config{
-		Core:          coreCfg,
-		Workers:       cfg.Workers,
-		MaxSessions:   cfg.MaxSessions,
-		MaxQueueWait:  cfg.MaxQueueWait,
-		MaxQueueDepth: cfg.MaxQueueDepth,
+		Core:               coreCfg,
+		Workers:            cfg.Workers,
+		MaxSessions:        cfg.MaxSessions,
+		MaxQueueWait:       cfg.MaxQueueWait,
+		MaxQueueDepth:      cfg.MaxQueueDepth,
+		SessionIdleTimeout: cfg.SessionIdleTimeout,
+		SessionMaxLifetime: cfg.SessionMaxLifetime,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("piano: %w", err)

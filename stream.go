@@ -46,8 +46,12 @@ var (
 // GOMAXPROCS, whether decided early or after the full feed.
 //
 // A session occupies one of the service's concurrent-session slots until
-// it resolves: reach a decision, or Close it. Methods are safe for
-// concurrent use; the intended shape is one feeder goroutine per role.
+// it resolves: reach a decision, or Close it. When the service configures
+// SessionIdleTimeout/SessionMaxLifetime, a session the client stops
+// feeding (or keeps open too long) is resolved ErrSessionStalled /
+// ErrSessionExpired by the lifecycle watchdog and its slot reclaimed.
+// Methods are safe for concurrent use; the intended shape is one feeder
+// goroutine per role.
 type AuthSession struct {
 	sn *service.Session
 }
@@ -89,7 +93,8 @@ func wrapSessionErr(err error) error {
 		errors.Is(err, ErrInternal),
 		errors.Is(err, ErrStreamDecided),
 		errors.Is(err, ErrFeedOverflow),
-		errors.Is(err, ErrNeedMoreAudio):
+		errors.Is(err, ErrNeedMoreAudio),
+		errors.Is(err, ErrSessionReaped):
 		return err
 	}
 	return fmt.Errorf("piano: %w", err)

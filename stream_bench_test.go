@@ -2,6 +2,7 @@ package piano
 
 import (
 	"testing"
+	"time"
 )
 
 // benchStreamRequest is the BenchmarkOnline workload: one granted pair.
@@ -29,13 +30,26 @@ func benchStreamRequest() AuthRequest {
 //     render), while decision-latency and replay time only the post-open
 //     work — so replay plus the open cost (batch minus replay ≈ the
 //     render) bounds the streaming engine's overhead over the batch scan.
-func BenchmarkOnline(b *testing.B) {
+func BenchmarkOnline(b *testing.B) { benchOnline(b, false) }
+
+// BenchmarkOnlineWatchdog is BenchmarkOnline with the lifecycle watchdog
+// live: generous idle/lifetime bounds that no benchmark session ever
+// violates, so the delta against BenchmarkOnline is pure watchdog overhead
+// — the per-feed atomic clock stores plus the background sweep goroutine
+// (recorded in BENCH_lifecycle.json; must stay within noise).
+func BenchmarkOnlineWatchdog(b *testing.B) { benchOnline(b, true) }
+
+func benchOnline(b *testing.B, watchdog bool) {
 	const finalChunk = 4096
 	req := benchStreamRequest()
 
 	newSvc := func(b *testing.B) *Service {
 		svcCfg := DefaultServiceConfig()
 		svcCfg.Workers = 2
+		if watchdog {
+			svcCfg.SessionIdleTimeout = 30 * time.Second
+			svcCfg.SessionMaxLifetime = 10 * time.Minute
+		}
 		svc, err := NewService(svcCfg)
 		if err != nil {
 			b.Fatal(err)
