@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-chaos test-lifecycle bench bench-smoke bench-auth bench-detect bench-fine bench-render bench-service bench-online bench-lifecycle cover docs-check clean
+.PHONY: all build vet test test-race test-chaos test-lifecycle test-fuzz bench bench-smoke bench-auth bench-detect bench-fine bench-render bench-service bench-online bench-lifecycle bench-loadgen cover docs-check clean
 
 all: vet build test
 
@@ -31,6 +31,12 @@ test-chaos:
 # feeds decide bit-identically to batch), and client retry/backoff.
 test-lifecycle:
 	$(GO) test -race -run 'TestLifecycle|TestChaosLifecycle|TestArrival|TestSessionArrival|TestRetry|TestServiceLifecycle' ./internal/service/ ./internal/arrival/ .
+
+# Fuzz smoke against the Step-II descriptor decoder (the sigref trust
+# boundary): ten seconds of coverage-guided mutation on top of the seed
+# corpus, which also runs as plain tests in every `make test`.
+test-fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalSignal -fuzztime 10s ./internal/sigref/
 
 # Full benchmark suite with allocation stats (slow: runs every paper figure).
 bench:
@@ -78,6 +84,12 @@ bench-online:
 # PERFORMANCE.md).
 bench-lifecycle:
 	$(GO) test -run '^$$' -bench 'BenchmarkAuthentication$$|BenchmarkOnline' -benchmem -count=3 -benchtime 10x .
+
+# The multi-core load-harness scaling grid: piano-loadgen drives closed-loop
+# saturation workloads across GOMAXPROCS × concurrency × {sharded, unsharded}
+# × {batch, stream} and records BENCH_loadgen.json (PERFORMANCE.md "PR 9").
+bench-loadgen:
+	$(GO) run ./cmd/piano-loadgen -grid -json BENCH_loadgen.json
 
 # The acoustic renderer: per-tap (RenderNaive oracle) vs composite-kernel
 # mixing, interleaved A/B at several tap counts (BENCH_render.json /

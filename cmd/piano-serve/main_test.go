@@ -70,6 +70,53 @@ func TestRunServeStreamAbandon(t *testing.T) {
 	}
 }
 
+// TestRunServeDrainWindowReported: the batch summary must report the drain
+// as its own measured window and compute throughput over completed sessions
+// in the burst window only — the regression was folding drain time (and, on
+// an early-expiring budget, sessions that never finished) into one
+// whole-run figure.
+func TestRunServeDrainWindowReported(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-sessions", "3", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"drain: quiesced in", "ms burst", "sessions/s over 3 completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ms total,  ") && strings.Contains(out, "batched service") &&
+		!strings.Contains(out, "ms burst") {
+		t.Errorf("batched-service line reverted to whole-run wall time:\n%s", out)
+	}
+}
+
+// TestRunServeStreamDrainDeadline: when -drain-timeout expires with
+// sessions still unresolved, the report must split the populations — how
+// many drained inside the window vs how many the deadline abandoned — not
+// blend them into one wall-time figure.
+func TestRunServeStreamDrainDeadline(t *testing.T) {
+	var buf bytes.Buffer
+	// -idle-timeout 30s parks the watchdog so neither abandoned session can
+	// be reaped as stalled before the 1 ms drain budget force-closes it —
+	// otherwise the watchdog races the deadline on a slow (-race) run.
+	err := run(&buf, []string{
+		"-stream", "-stream-pace", "0", "-sessions", "2", "-workers", "2",
+		"-abandon-rate", "1", "-idle-timeout", "30s", "-drain-timeout", "1ms",
+	})
+	if err != nil {
+		t.Fatalf("deadline run errored: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "at the deadline (budget 1ms)") {
+		t.Errorf("abandoned sessions not reported against the expired budget:\n%s", out)
+	}
+	if !strings.Contains(out, "closed=2") {
+		t.Errorf("deadline-closed sessions missing from the shed report:\n%s", out)
+	}
+}
+
 // TestRunServeStreamInterrupt: cancellation mid-stream must report and exit
 // cleanly, not error.
 func TestRunServeStreamInterrupt(t *testing.T) {

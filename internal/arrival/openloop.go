@@ -1,0 +1,41 @@
+package arrival
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Arrivals is the session-level counterpart of Source: an open-loop Poisson
+// arrival process emitting the gaps between successive session openings at a
+// target mean rate. Open-loop is the load-model distinction that matters:
+// a closed-loop driver (N workers, each opening its next session when the
+// last finishes) slows its offered load down exactly when the server slows
+// down, hiding overload; an open-loop driver keeps offering sessions at the
+// outside world's rate regardless of how the server is doing, which is how
+// real traffic behaves and what admission control exists to survive.
+//
+// Like Source, it is deterministic — the gap sequence is a pure function of
+// (rate, seed) — and not safe for concurrent use.
+type Arrivals struct {
+	rate float64
+	rng  *rand.Rand
+}
+
+// NewArrivals builds a Poisson arrival process with the given mean rate in
+// sessions per second, seeded with seed (0 → 1).
+func NewArrivals(ratePerSec float64, seed int64) (*Arrivals, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("arrival: rate %g sessions/sec is not positive", ratePerSec)
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &Arrivals{rate: ratePerSec, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// NextGap draws the wait before the next session arrival: exponentially
+// distributed with mean 1/rate, the inter-arrival law of a Poisson process.
+func (a *Arrivals) NextGap() time.Duration {
+	return time.Duration(a.rng.ExpFloat64() / a.rate * float64(time.Second))
+}

@@ -1,0 +1,66 @@
+package arrival
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArrivalsValidation(t *testing.T) {
+	for _, rate := range []float64{0, -3} {
+		if _, err := NewArrivals(rate, 1); err == nil {
+			t.Errorf("rate %g accepted", rate)
+		}
+	}
+}
+
+// TestArrivalsDeterministic: the gap sequence is a pure function of
+// (rate, seed) — and seed 0 aliases seed 1, matching Source.
+func TestArrivalsDeterministic(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		a, err := NewArrivals(50, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps := make([]time.Duration, 32)
+		for i := range gaps {
+			gaps[i] = a.NextGap()
+		}
+		return gaps
+	}
+	a, b, zero, other := draw(7), draw(7), draw(0), draw(8)
+	diverged := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d: %v != %v for the same seed", i, a[i], b[i])
+		}
+		if zero[i] != draw(1)[i] {
+			t.Fatalf("gap %d: seed 0 does not alias seed 1", i)
+		}
+		if a[i] != other[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 7 and 8 drew identical gap sequences")
+	}
+}
+
+// TestArrivalsMeanRate: over many draws the empirical mean gap approaches
+// 1/rate — the exponential inter-arrival law.
+func TestArrivalsMeanRate(t *testing.T) {
+	const rate = 200.0
+	a, err := NewArrivals(rate, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += a.NextGap()
+	}
+	mean := sum.Seconds() / n
+	want := 1 / rate
+	if mean < want*0.9 || mean > want*1.1 {
+		t.Fatalf("mean gap %.4fs, want %.4fs ± 10%%", mean, want)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/acoustic-auth/piano/internal/acoustic"
@@ -16,7 +17,6 @@ import (
 	"github.com/acoustic-auth/piano/internal/core"
 	"github.com/acoustic-auth/piano/internal/detect"
 	"github.com/acoustic-auth/piano/internal/device"
-	"github.com/acoustic-auth/piano/internal/dsp"
 	"github.com/acoustic-auth/piano/internal/faultinject"
 )
 
@@ -103,6 +103,20 @@ type Config struct {
 	// second is making "progress" the idle bound never sees — this bound
 	// caps the total slot-hold time. 0 disables it.
 	SessionMaxLifetime time.Duration
+	// ShardCount splits the detection machinery — the worker pool, the
+	// detector with its pooled scan workspaces, and the pinned FFT plan
+	// set — into that many independent per-worker-group shards. Sessions
+	// are pinned to one shard at admission (round-robin), so concurrent
+	// sessions on different shards stop contending on a single pool's task
+	// queue and a single workspace freelist. 0 (the default) and 1 both
+	// mean one shard — the legacy layout. Workers stays the TOTAL worker
+	// budget: it is distributed across shards as evenly as possible, with
+	// at least one worker per shard. Sharding never changes results: every
+	// shard is built from the same Config, and a session's decision is a
+	// pure function of its request and seed (see the determinism contract),
+	// so results are bit-identical at any ShardCount. Negative values are
+	// rejected with ErrConfig.
+	ShardCount int
 }
 
 // DeviceSpec describes one session device's placement and hardware quirks
@@ -139,10 +153,12 @@ type Request struct {
 // for concurrent use; sessions run concurrently up to MaxSessions while
 // sharing one detect worker pool and one pinned FFT plan set.
 type AuthService struct {
-	cfg   Config
-	pool  *detect.Pool
-	det   *detect.Detector
-	plans *dsp.PlanSet
+	cfg Config
+	// shards are the per-worker-group detection machinery (pool, detector,
+	// plan set); always at least one. nextShard drives the round-robin
+	// session pinning (see shard.go).
+	shards    []*shard
+	nextShard atomic.Uint64
 
 	sem      chan struct{} // session slots
 	draining chan struct{} // closed when Close begins: sheds queued waiters
@@ -159,9 +175,13 @@ type AuthService struct {
 	streams  map[*Session]struct{} // open streaming sessions (force-resolved on Close)
 }
 
-// New validates cfg and builds the service: the worker pool is started,
-// the FFT plan for the configured window length is built and pinned, and
-// the shared detector is attached to both.
+// New validates cfg and builds the service: each shard's worker pool is
+// started, its FFT plan for the configured window length is built and
+// pinned, and its detector is attached to both — with every workspace
+// prewarmed (the full-length spectrum buffers, the packed FFT scratch, and,
+// when the configured steps stream, the sliding-DFT state and its rotation
+// table), so steady-state sessions run the band-limited engine
+// allocation-free from the first request.
 func New(cfg Config) (*AuthService, error) {
 	if err := cfg.Core.Validate(); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
@@ -175,32 +195,17 @@ func New(cfg Config) (*AuthService, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 4 * cfg.Workers
 	}
-	plans, err := dsp.NewPlanSet(cfg.Core.Signal.Length)
-	if err != nil {
-		return nil, fmt.Errorf("service: %w", err)
+	shardCount := cfg.ShardCount
+	if shardCount < 1 {
+		shardCount = 1
 	}
-	det, err := detect.New(cfg.Core.Detect)
+	shards, err := buildShards(cfg, shardCount, cfg.Workers)
 	if err != nil {
-		return nil, fmt.Errorf("service: %w", err)
-	}
-	pool := detect.NewPool(cfg.Workers)
-	det.UsePool(pool)
-	det.UsePlans(plans)
-	// Pin the scan scratch now, one workspace per pool worker plus the
-	// submitting goroutine: the full-length spectrum buffers, the packed
-	// FFT scratch, and (when the configured coarse step streams) the
-	// sliding-DFT state and its rotation table all live in the detector's
-	// workspace pool for the service lifetime, so steady-state sessions
-	// run the band-limited engine allocation-free from the first request.
-	if err := det.Prewarm(cfg.Core.Signal, cfg.Workers+1); err != nil {
-		pool.Close()
-		return nil, fmt.Errorf("service: %w", err)
+		return nil, err
 	}
 	s := &AuthService{
 		cfg:      cfg,
-		pool:     pool,
-		det:      det,
-		plans:    plans,
+		shards:   shards,
 		sem:      make(chan struct{}, cfg.MaxSessions),
 		draining: make(chan struct{}),
 		streams:  make(map[*Session]struct{}),
@@ -386,7 +391,10 @@ func (s *AuthService) AuthenticateContext(ctx context.Context, req Request) (*co
 	}
 	defer s.end()
 
-	res, err := s.runSession(ctx, req)
+	// Pinned at admission: everything this session scans goes through one
+	// shard's pool, workspaces, and plans.
+	sh := s.pin()
+	res, err := s.runSession(ctx, req, sh)
 	if err != nil {
 		// Panics recovered inside the scan engine or the per-device
 		// detection goroutines arrive as *detect.PanicError; fold them
@@ -396,7 +404,7 @@ func (s *AuthService) AuthenticateContext(ctx context.Context, req Request) (*co
 			err = &InternalError{Panic: pe.Value, Stack: pe.Stack}
 		}
 		if errors.Is(err, ErrInternal) {
-			s.replenish()
+			sh.replenish(s.cfg)
 		}
 		return nil, err
 	}
@@ -411,7 +419,7 @@ func (s *AuthService) AuthenticateContext(ctx context.Context, req Request) (*co
 // (world render, protocol plumbing, an injected fault) is recovered into a
 // typed *InternalError instead of crashing the process, and the shared
 // detector/pool stay serviceable.
-func (s *AuthService) runSession(ctx context.Context, req Request) (res *core.Result, err error) {
+func (s *AuthService) runSession(ctx context.Context, req Request, sh *shard) (res *core.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, &InternalError{Panic: r, Stack: debug.Stack()}
@@ -423,7 +431,7 @@ func (s *AuthService) runSession(ctx context.Context, req Request) (res *core.Re
 		return nil, err
 	}
 
-	a, plays, err := s.buildSession(req)
+	a, plays, err := s.buildSession(req, sh)
 	if err != nil {
 		return nil, err
 	}
@@ -442,10 +450,10 @@ func (s *AuthService) runSession(ctx context.Context, req Request) (res *core.Re
 }
 
 // buildSession constructs one session's devices, interferers, seeded RNG,
-// and authenticator (with the shared detector attached) from a request —
-// the part of the pipeline common to the batch path (runSession) and the
-// streaming path (OpenSession), so both build sessions identically.
-func (s *AuthService) buildSession(req Request) (*core.Authenticator, []core.ExtraPlay, error) {
+// and authenticator (with the pinned shard's detector attached) from a
+// request — the part of the pipeline common to the batch path (runSession)
+// and the streaming path (OpenSession), so both build sessions identically.
+func (s *AuthService) buildSession(req Request, sh *shard) (*core.Authenticator, []core.ExtraPlay, error) {
 	cfg := s.sessionConfig(req)
 
 	// Shared with piano.NewDeployment (device.NewSessionDevice) so service
@@ -489,7 +497,7 @@ func (s *AuthService) buildSession(req Request) (*core.Authenticator, []core.Ext
 	if err != nil {
 		return nil, nil, fmt.Errorf("service: %w", err)
 	}
-	a.UseDetector(s.det)
+	a.UseDetector(sh.det)
 
 	var plays []core.ExtraPlay
 	if len(interferers) > 0 {
@@ -499,14 +507,6 @@ func (s *AuthService) buildSession(req Request) (*core.Authenticator, []core.Ext
 		}
 	}
 	return a, plays, nil
-}
-
-// replenish rebuilds one prewarmed scan workspace after a panic poisoned
-// and discarded one, restoring the steady-state "no cold-start
-// allocations" property chaos would otherwise erode. Best-effort: if it
-// fails, the next scan simply rebuilds its own scratch on checkout.
-func (s *AuthService) replenish() {
-	_ = s.det.Prewarm(s.cfg.Core.Signal, 1)
 }
 
 // Close stops admission, sheds every request still waiting for a session
@@ -543,5 +543,7 @@ func (s *AuthService) Close() {
 	if s.watchdogDone != nil {
 		<-s.watchdogDone
 	}
-	s.pool.Close()
+	for _, sh := range s.shards {
+		sh.pool.Close()
+	}
 }

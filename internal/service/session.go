@@ -42,7 +42,11 @@ var (
 // exactly once. The methods are safe for concurrent use; the intended shape
 // is one feeder goroutine per role.
 type Session struct {
-	svc    *AuthService
+	svc *AuthService
+	// shard is the worker group this session was pinned to at admission:
+	// every scan its feeds trigger runs on this shard's pool and
+	// workspaces, and a panic in its feed path replenishes this shard.
+	shard  *shard
 	as     *core.AuthStream
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -84,14 +88,15 @@ func (s *AuthService) OpenSession(ctx context.Context, req Request) (*Session, e
 	if err := s.begin(ctx); err != nil {
 		return nil, err
 	}
-	sess, err := s.openStream(ctx, req)
+	sh := s.pin()
+	sess, err := s.openStream(ctx, req, sh)
 	if err != nil {
 		var pe *detect.PanicError
 		if errors.As(err, &pe) {
 			err = &InternalError{Panic: pe.Value, Stack: pe.Stack}
 		}
 		if errors.Is(err, ErrInternal) {
-			s.replenish()
+			sh.replenish(s.cfg)
 		}
 		s.end()
 		return nil, err
@@ -101,7 +106,7 @@ func (s *AuthService) OpenSession(ctx context.Context, req Request) (*Session, e
 
 // openStream builds and registers the session once a slot is held. Panic
 // isolation for the open phase (device build, scene render) lives here.
-func (s *AuthService) openStream(ctx context.Context, req Request) (sess *Session, err error) {
+func (s *AuthService) openStream(ctx context.Context, req Request, sh *shard) (sess *Session, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			sess, err = nil, &InternalError{Panic: r, Stack: debug.Stack()}
@@ -111,7 +116,7 @@ func (s *AuthService) openStream(ctx context.Context, req Request) (sess *Sessio
 	if err := faultinject.Fire(faultinject.SiteServiceSession); err != nil {
 		return nil, err
 	}
-	a, plays, err := s.buildSession(req)
+	a, plays, err := s.buildSession(req, sh)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +132,7 @@ func (s *AuthService) openStream(ctx context.Context, req Request) (sess *Sessio
 		}
 		return nil, fmt.Errorf("service: %w", err)
 	}
-	sess = &Session{svc: s, as: as, ctx: sctx, cancel: cancel, opened: time.Now()}
+	sess = &Session{svc: s, shard: sh, as: as, ctx: sctx, cancel: cancel, opened: time.Now()}
 	sess.lastFeed.Store(sess.opened.UnixNano())
 	// Register under the service lock, re-checking closed: a Close racing
 	// this open may already have swept the streams map, and a session
@@ -187,7 +192,7 @@ func (sn *Session) fail(err error) error {
 	var pe *detect.PanicError
 	if errors.As(err, &pe) {
 		ie := &InternalError{Panic: pe.Value, Stack: pe.Stack}
-		sn.svc.replenish()
+		sn.shard.replenish(sn.svc.cfg)
 		sn.resolve(nil, ie)
 		return ie
 	}
@@ -238,7 +243,7 @@ func (sn *Session) Feed(role core.Role, pcm []int16) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ie := &InternalError{Panic: r, Stack: debug.Stack()}
-			sn.svc.replenish()
+			sn.shard.replenish(sn.svc.cfg)
 			sn.resolve(nil, ie)
 			err = ie
 		}
@@ -274,7 +279,7 @@ func (sn *Session) TryResult() (res *core.Result, need int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ie := &InternalError{Panic: r, Stack: debug.Stack()}
-			sn.svc.replenish()
+			sn.shard.replenish(sn.svc.cfg)
 			sn.resolve(nil, ie)
 			res, need, err = nil, 0, ie
 		}

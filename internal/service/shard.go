@@ -1,0 +1,105 @@
+package service
+
+import (
+	"fmt"
+
+	"github.com/acoustic-auth/piano/internal/detect"
+	"github.com/acoustic-auth/piano/internal/dsp"
+)
+
+// shard is one worker group of the service's detection machinery: a private
+// bounded detect.Pool, a private detect.Detector (and with it a private
+// pooled-workspace freelist), and a private pinned dsp.PlanSet. Before
+// sharding, every concurrent session offered its scan blocks to ONE pool's
+// unbuffered task channel and recycled scratch through ONE workspace
+// freelist — a single point of cross-core contention that flattens the
+// scaling curve long before the cores run out. With ShardCount > 1,
+// sessions are pinned to a shard at admission (round-robin) and never touch
+// another shard's queue or freelist.
+//
+// Sharding is invisible in results: every shard is built from the same
+// Config, and a session's decision is a pure function of its request and
+// seed (the private RNG stream draws every random number the session
+// consumes), so which shard scans a session can never change its decision —
+// the bit-determinism contract survives sharding, and the shard property
+// tests pin it at every ShardCount × GOMAXPROCS combination.
+type shard struct {
+	pool  *detect.Pool
+	det   *detect.Detector
+	plans *dsp.PlanSet
+}
+
+// newShard builds one worker group: pool of `workers` scan workers, a
+// detector attached to that pool and a freshly pinned plan set, prewarmed
+// with one workspace per worker plus one for the submitting goroutine.
+func newShard(cfg Config, workers int) (*shard, error) {
+	plans, err := dsp.NewPlanSet(cfg.Core.Signal.Length)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	det, err := detect.New(cfg.Core.Detect)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	pool := detect.NewPool(workers)
+	det.UsePool(pool)
+	det.UsePlans(plans)
+	if err := det.Prewarm(cfg.Core.Signal, workers+1); err != nil {
+		pool.Close()
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	return &shard{pool: pool, det: det, plans: plans}, nil
+}
+
+// replenish rebuilds one prewarmed scan workspace after a panic poisoned
+// and discarded one of this shard's, restoring the steady-state "no
+// cold-start allocations" property chaos would otherwise erode.
+// Best-effort: if it fails, the next scan simply rebuilds its own scratch
+// on checkout.
+func (sh *shard) replenish(cfg Config) {
+	_ = sh.det.Prewarm(cfg.Core.Signal, 1)
+}
+
+// buildShards constructs the service's worker groups. count is the
+// resolved shard count (≥ 1); totalWorkers is Config.Workers after
+// defaulting, distributed across the shards as evenly as possible with a
+// floor of one worker per shard (so ShardCount > Workers over-provisions
+// rather than creating workerless groups).
+func buildShards(cfg Config, count, totalWorkers int) ([]*shard, error) {
+	shards := make([]*shard, 0, count)
+	base, rem := totalWorkers/count, totalWorkers%count
+	for i := 0; i < count; i++ {
+		w := base
+		if i < rem {
+			w++
+		}
+		if w < 1 {
+			w = 1
+		}
+		sh, err := newShard(cfg, w)
+		if err != nil {
+			for _, prev := range shards {
+				prev.pool.Close()
+			}
+			return nil, err
+		}
+		shards = append(shards, sh)
+	}
+	return shards, nil
+}
+
+// pin assigns an admitted session to a shard. Round-robin off an atomic
+// counter: admission order decides the shard, nothing about the request
+// does, which keeps the assignment contention-free and makes plain that
+// results cannot depend on it (the determinism tests would catch it if
+// they somehow did).
+func (s *AuthService) pin() *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	return s.shards[(s.nextShard.Add(1)-1)%uint64(len(s.shards))]
+}
+
+// ShardCount returns the number of worker-group shards the service runs
+// (1 for the legacy unsharded layout).
+func (s *AuthService) ShardCount() int { return len(s.shards) }

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/acoustic-auth/piano/internal/core"
+)
+
+func newShardedService(t testing.TB, workers, shards int) *AuthService {
+	t.Helper()
+	svc, err := New(Config{Core: core.DefaultConfig(), Workers: workers, ShardCount: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestShardConfigRejectsNegativeCount(t *testing.T) {
+	_, err := New(Config{Core: core.DefaultConfig(), ShardCount: -1})
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("ShardCount -1 returned %v, want ErrConfig", err)
+	}
+}
+
+// TestShardWorkerDistribution: Workers is the TOTAL budget, spread across
+// shards as evenly as possible with a floor of one worker per shard.
+func TestShardWorkerDistribution(t *testing.T) {
+	cases := []struct {
+		workers, shards int
+		want            []int
+	}{
+		{workers: 4, shards: 0, want: []int{4}}, // 0 = legacy single shard
+		{workers: 4, shards: 1, want: []int{4}},
+		{workers: 4, shards: 2, want: []int{2, 2}},
+		{workers: 5, shards: 2, want: []int{3, 2}}, // remainder to the first shards
+		{workers: 2, shards: 4, want: []int{1, 1, 1, 1}}, // floor of 1, over-provisioned
+	}
+	for _, tc := range cases {
+		svc := newShardedService(t, tc.workers, tc.shards)
+		if got := svc.ShardCount(); got != len(tc.want) {
+			t.Errorf("workers=%d shards=%d: ShardCount() = %d, want %d",
+				tc.workers, tc.shards, got, len(tc.want))
+		}
+		for i, sh := range svc.shards {
+			if got := sh.pool.Workers(); got != tc.want[i] {
+				t.Errorf("workers=%d shards=%d: shard %d has %d workers, want %d",
+					tc.workers, tc.shards, i, got, tc.want[i])
+			}
+		}
+		svc.Close()
+	}
+}
+
+// TestShardPinRoundRobin: admission order alone decides the shard, cycling
+// through all of them, so load spreads evenly without inspecting requests.
+func TestShardPinRoundRobin(t *testing.T) {
+	svc := newShardedService(t, 3, 3)
+	defer svc.Close()
+	seen := make(map[*shard]int)
+	for i := 0; i < 9; i++ {
+		seen[svc.pin()]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("9 pins touched %d shards, want 3", len(seen))
+	}
+	for sh, n := range seen {
+		if n != 3 {
+			t.Fatalf("shard %p pinned %d times, want 3", sh, n)
+		}
+	}
+}
+
+// TestShardDeterminism is the acceptance property for sharding: the same
+// request set decides bit-identically (Float64bits on the measured distance,
+// plus the full session report) at ShardCount 0, 1, 2, and 4 under GOMAXPROCS
+// 1, 2, 4, and 8, with the sessions running concurrently — both the batch and
+// the streaming path. Runs under -race in CI.
+func TestShardDeterminism(t *testing.T) {
+	reqs := make([]Request, 4)
+	for i := range reqs {
+		reqs[i] = pairRequest(0.4+0.5*float64(i), int64(90+i))
+	}
+	reqs[1].Interferers = []DeviceSpec{{Name: "other-user", X: 2.1, Y: 1.3}}
+
+	// Baseline from the legacy unsharded layout, serial.
+	ref := newShardedService(t, 2, 0)
+	want := make([]*core.Result, len(reqs))
+	for i, req := range reqs {
+		res, err := ref.Authenticate(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	wantStream, err := streamOne(ref, reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDecision(wantStream, want[0]) {
+		t.Fatalf("baseline stream diverged from batch:\nstream %+v\nbatch  %+v", wantStream, want[0])
+	}
+	ref.Close()
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, shards := range []int{0, 1, 2, 4} {
+			if testing.Short() && procs > 1 && procs != 4 {
+				continue
+			}
+			svc := newShardedService(t, 2, shards)
+
+			var wg sync.WaitGroup
+			results := make([]*core.Result, len(reqs))
+			errs := make([]error, len(reqs))
+			for i := range reqs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i], errs[i] = svc.Authenticate(reqs[i])
+				}(i)
+			}
+			wg.Wait()
+			for i := range reqs {
+				if errs[i] != nil {
+					t.Fatalf("procs=%d shards=%d request %d: %v", procs, shards, i, errs[i])
+				}
+				if !sameDecision(results[i], want[i]) {
+					t.Fatalf("procs=%d shards=%d request %d: decision diverged:\nsharded  %+v\nbaseline %+v",
+						procs, shards, i, results[i], want[i])
+				}
+			}
+
+			res, err := streamOne(svc, reqs[0])
+			if err != nil {
+				t.Fatalf("procs=%d shards=%d stream: %v", procs, shards, err)
+			}
+			if !sameDecision(res, want[0]) {
+				t.Fatalf("procs=%d shards=%d: streamed decision diverged:\nsharded  %+v\nbaseline %+v",
+					procs, shards, res, want[0])
+			}
+			svc.Close()
+		}
+	}
+}
+
+// streamOne runs one full streaming session to its decision.
+func streamOne(svc *AuthService, req Request) (*core.Result, error) {
+	sn, err := svc.OpenSession(context.Background(), req)
+	if err != nil {
+		return nil, err
+	}
+	for _, role := range []core.Role{core.RoleAuth, core.RoleVouch} {
+		rec := sn.Recording(role)
+		for at := 0; at < len(rec); at += 4096 {
+			end := at + 4096
+			if end > len(rec) {
+				end = len(rec)
+			}
+			if err := sn.Feed(role, rec[at:end]); err != nil {
+				if errors.Is(err, ErrStreamDecided) {
+					break
+				}
+				return nil, err
+			}
+		}
+	}
+	return sn.Result()
+}

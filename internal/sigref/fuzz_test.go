@@ -1,0 +1,137 @@
+package sigref
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fuzzSeeds builds the seed corpus: a valid Step-II descriptor plus the
+// malformed shapes the decoder's checks exist for — truncations, a
+// length-bomb header, an over-count n, a NaN phase.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(1))
+	sig, err := New(DefaultParams(), rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	valid, err := sig.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bomb := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(bomb[:4], math.MaxUint32)
+
+	overCount := append([]byte(nil), valid...)
+	overCount[37] = 255 // n beyond the trailing bytes
+
+	nanPhase := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(nanPhase[len(nanPhase)-8:], math.Float64bits(math.NaN()))
+
+	nanRate := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(nanRate[4:12], math.Float64bits(math.NaN()))
+
+	return [][]byte{
+		valid,
+		valid[:10],
+		valid[:38],
+		{},
+		bomb,
+		overCount,
+		nanPhase,
+		nanRate,
+	}
+}
+
+// FuzzUnmarshalSignal fuzzes the Step-II trust boundary. Properties:
+// UnmarshalSignal never panics and never allocates past MaxSignalLength; an
+// accepted descriptor describes a signal whose parameters pass Validate;
+// and marshal∘unmarshal is a fixpoint — re-encoding an accepted signal
+// re-decodes to an Equal signal with byte-identical encoding.
+func FuzzUnmarshalSignal(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sig, err := UnmarshalSignal(data)
+		if err != nil {
+			if sig != nil {
+				t.Fatalf("error %v with a non-nil signal", err)
+			}
+			return
+		}
+		p := sig.Params()
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted descriptor fails Validate: %v", verr)
+		}
+		if p.Length > MaxSignalLength {
+			t.Fatalf("accepted length %d beyond the %d cap", p.Length, MaxSignalLength)
+		}
+		if sig.Count() < 1 || sig.Count() >= p.NumCandidates {
+			t.Fatalf("accepted component count %d outside 1..%d", sig.Count(), p.NumCandidates-1)
+		}
+		out, err := sig.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode of accepted signal failed: %v", err)
+		}
+		sig2, err := UnmarshalSignal(out)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded signal failed: %v", err)
+		}
+		if !Equal(sig, sig2) {
+			t.Fatal("round-tripped signal not Equal to the original")
+		}
+		out2, err := sig2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatal("MarshalBinary is not a fixpoint after one round-trip")
+		}
+	})
+}
+
+// TestFuzzSeedsBehave runs the seed corpus through the decoder as a plain
+// test, so the malformed shapes stay covered even when no fuzz engine runs:
+// the valid seed must decode, every malformed seed must be rejected typed.
+func TestFuzzSeedsBehave(t *testing.T) {
+	seeds := fuzzSeeds(t)
+	if _, err := UnmarshalSignal(seeds[0]); err != nil {
+		t.Fatalf("valid seed rejected: %v", err)
+	}
+	for i, seed := range seeds[1:] {
+		if _, err := UnmarshalSignal(seed); err == nil {
+			t.Errorf("malformed seed %d accepted", i+1)
+		}
+	}
+}
+
+// TestValidateRejectsNonFinite pins the NaN/Inf hardening: NaN passes every
+// ordered comparison, so each float field needs an explicit finiteness
+// check.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	mutate := []struct {
+		name string
+		f    func(*Params, float64)
+	}{
+		{"SampleRate", func(p *Params, v float64) { p.SampleRate = v }},
+		{"BandLowHz", func(p *Params, v float64) { p.BandLowHz = v }},
+		{"BandHighHz", func(p *Params, v float64) { p.BandHighHz = v }},
+		{"FullScale", func(p *Params, v float64) { p.FullScale = v }},
+	}
+	for _, m := range mutate {
+		for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			p := DefaultParams()
+			m.f(&p, v)
+			if err := p.Validate(); err == nil {
+				t.Errorf("%s = %g validated", m.name, v)
+			}
+		}
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params rejected: %v", err)
+	}
+}

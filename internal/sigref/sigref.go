@@ -49,21 +49,29 @@ func DefaultParams() Params {
 	}
 }
 
-// Validate checks internal consistency.
+// Validate checks internal consistency. Non-finite floats are rejected
+// explicitly: NaN slips through every ordered comparison below (NaN <= 0 is
+// false), so without these checks a NaN sample rate or band edge would
+// validate and then poison the synthesis downstream.
 func (p Params) Validate() error {
 	switch {
-	case p.SampleRate <= 0:
+	case !finite(p.SampleRate) || p.SampleRate <= 0:
 		return fmt.Errorf("%w: sample rate %g", ErrBadParams, p.SampleRate)
 	case !dsp.IsPowerOfTwo(p.Length):
 		return fmt.Errorf("%w: length %d not a power of two", ErrBadParams, p.Length)
-	case p.BandLowHz <= 0 || p.BandHighHz <= p.BandLowHz:
+	case !finite(p.BandLowHz) || !finite(p.BandHighHz) || p.BandLowHz <= 0 || p.BandHighHz <= p.BandLowHz:
 		return fmt.Errorf("%w: band [%g, %g]", ErrBadParams, p.BandLowHz, p.BandHighHz)
 	case p.NumCandidates < 2 || p.NumCandidates > 255:
 		return fmt.Errorf("%w: %d candidates (need 2..255)", ErrBadParams, p.NumCandidates)
-	case p.FullScale <= 0:
+	case !finite(p.FullScale) || p.FullScale <= 0:
 		return fmt.Errorf("%w: full scale %g", ErrBadParams, p.FullScale)
 	}
 	return nil
+}
+
+// finite reports whether v is an ordinary float (not NaN, not ±Inf).
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // Candidates returns the N candidate frequencies: the center of each of the
@@ -299,6 +307,11 @@ func UnmarshalSignal(data []byte) (*Signal, error) {
 	for i := 0; i < n; i++ {
 		off := fixed + n + 8*i
 		phases[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+		// Phases come off the wire too: a NaN or ±Inf phase validates
+		// nowhere downstream but would synthesize a waveform of NaNs.
+		if !finite(phases[i]) {
+			return nil, fmt.Errorf("%w: non-finite phase %g at %d", ErrBadEncoding, phases[i], i)
+		}
 	}
 	sig, err := NewFromIndices(p, indices, phases)
 	if err != nil {
