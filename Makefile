@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-chaos test-lifecycle test-fuzz bench bench-smoke bench-auth bench-detect bench-fine bench-render bench-service bench-online bench-lifecycle bench-loadgen cover docs-check clean
+.PHONY: all build vet test test-race test-chaos test-lifecycle test-loss test-fuzz staticcheck bench bench-smoke bench-auth bench-detect bench-fine bench-render bench-service bench-online bench-lifecycle bench-loadgen bench-loss cover docs-check clean
 
 all: vet build test
 
@@ -32,11 +32,32 @@ test-chaos:
 test-lifecycle:
 	$(GO) test -race -run 'TestLifecycle|TestChaosLifecycle|TestArrival|TestSessionArrival|TestRetry|TestServiceLifecycle' ./internal/service/ ./internal/arrival/ .
 
-# Fuzz smoke against the Step-II descriptor decoder (the sigref trust
-# boundary): ten seconds of coverage-guided mutation on top of the seed
-# corpus, which also runs as plain tests in every `make test`.
+# Lossy-transport suite under the race detector: framed ingestion must be
+# bit-identical to batch on a clean wire, deterministic (decide-or-typed-
+# refusal) under seeded loss at any GOMAXPROCS, and the loss-storm chaos
+# test must leak no slots (ARCHITECTURE.md "Lossy transport").
+test-loss:
+	$(GO) test -race -run 'TestSessionFramed|TestSessionGapRepair|TestChaosLossStorm' ./internal/service/
+	$(GO) test -race ./internal/frame/ ./internal/arrival/
+
+# Fuzz smoke against the two wire-facing decoders — the Step-II descriptor
+# (sigref trust boundary) and the lossy-transport frame codec: ten seconds
+# of coverage-guided mutation each on top of the seed corpora, which also
+# run as plain tests in every `make test`.
 test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshalSignal -fuzztime 10s ./internal/sigref/
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 10s ./internal/frame/
+
+# Pinned staticcheck alongside go vet (CI installs the pin; locally the
+# target is a no-op with a hint when the binary is absent, because the
+# build environment may have no network).
+STATICCHECK_VERSION ?= 2025.1
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; run: go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+	fi
 
 # Full benchmark suite with allocation stats (slow: runs every paper figure).
 bench:
@@ -90,6 +111,12 @@ bench-lifecycle:
 # × {batch, stream} and records BENCH_loadgen.json (PERFORMANCE.md "PR 9").
 bench-loadgen:
 	$(GO) run ./cmd/piano-loadgen -grid -json BENCH_loadgen.json
+
+# Framing overhead on clean transport: the framed decision-latency path vs
+# the plain Feed path — the delta must stay under 2% (BENCH_loss.json /
+# PERFORMANCE.md "PR 10").
+bench-loss:
+	$(GO) test -run '^$$' -bench 'BenchmarkOnline(Framed)?/decision-latency' -benchmem -count=3 -benchtime 20x .
 
 # The acoustic renderer: per-tap (RenderNaive oracle) vs composite-kernel
 # mixing, interleaved A/B at several tap counts (BENCH_render.json /

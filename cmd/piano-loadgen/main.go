@@ -80,13 +80,27 @@ type opts struct {
 	jitter      float64
 	underrun    float64
 	abandonRate float64
+
+	// Stream-mode lossy-transport model: any knob > 0 switches the feed
+	// from plain chunks to framed chunks over a seeded lossy wire
+	// (internal/arrival.Wire) — frames dropped, duplicated, reordered, and
+	// corrupted on a schedule that replays exactly per seed.
+	loss    float64
+	dup     float64
+	reorder float64
+	corrupt float64
+}
+
+// framed reports whether the run feeds framed chunks over the lossy wire.
+func (o opts) framed() bool {
+	return o.loss > 0 || o.dup > 0 || o.reorder > 0 || o.corrupt > 0
 }
 
 // Shed categories, in report order. Every typed terminal error the service
 // can hand a load-generator client maps to exactly one of these; "other" is
 // reserved for errors the harness does not know — its count growing on a
 // known typed error is a reporting bug (pinned by TestCategoryCoversTypedErrors).
-var categories = []string{"overloaded", "closed", "stalled", "expired", "internal", "canceled", "other"}
+var categories = []string{"overloaded", "closed", "stalled", "expired", "internal", "canceled", "insufficient", "other"}
 
 // category buckets one failed session by its typed cause. The reap
 // categories are checked before the context ones: a watchdog resolution is
@@ -104,6 +118,11 @@ func category(err error) string {
 		return "closed"
 	case errors.Is(err, piano.ErrInternal):
 		return "internal"
+	case errors.Is(err, piano.ErrInsufficientAudio):
+		// The transport lost audio the decision would have had to trust;
+		// the server refused typed rather than guess. First-class, never
+		// "other": operators alert on this one separately.
+		return "insufficient"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return "canceled"
 	default:
@@ -146,6 +165,7 @@ type Summary struct {
 	Sessions       int            `json:"sessions"`
 	Completed      int            `json:"completed"`
 	Granted        int            `json:"granted"`
+	Degraded       int            `json:"degraded"`
 	Shed           map[string]int `json:"shed"`
 	WallMS         float64        `json:"wall_ms"`
 	SessionsPerSec float64        `json:"sessions_per_sec"`
@@ -154,9 +174,10 @@ type Summary struct {
 
 // outcome is one session's terminal state.
 type outcome struct {
-	lat     time.Duration
-	granted bool
-	err     error
+	lat      time.Duration
+	granted  bool
+	degraded bool // decided despite transport loss (Decision.Degraded != nil)
+	err      error
 }
 
 // driver runs sessions against one service under one opts set.
@@ -207,6 +228,9 @@ func (d *driver) one(ctx context.Context, req piano.AuthRequest) outcome {
 // fate is Stall/Abandon stops feeding and waits for the lifecycle watchdog
 // to reap the session with a typed error, exactly like a vanished device.
 func (d *driver) oneStream(ctx context.Context, req piano.AuthRequest) outcome {
+	if d.o.framed() {
+		return d.oneStreamFramed(ctx, req)
+	}
 	start := time.Now()
 	sess, err := d.svc.OpenSessionContext(ctx, req)
 	if err != nil {
@@ -268,6 +292,88 @@ func (d *driver) oneStream(ctx context.Context, req piano.AuthRequest) outcome {
 			return outcome{lat: time.Since(start), granted: dec.Granted}
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// oneStreamFramed runs a single streaming session over the lossy wire:
+// each role's frames arrive on their seeded wire schedule — dropped,
+// duplicated, reordered, corrupted — and the session reassembles them,
+// deciding early when it can. Corrupt frames are refused typed by the
+// server and this client does not retransmit (no NACK channel), so they
+// become gaps; once a role's schedule is exhausted the client declares
+// that transport finished and unrepaired gaps become loss. A session past
+// the loss ceiling resolves ErrInsufficientAudio — the "insufficient"
+// category — and a decision that survived loss is counted degraded.
+func (d *driver) oneStreamFramed(ctx context.Context, req piano.AuthRequest) outcome {
+	start := time.Now()
+	sess, err := d.svc.OpenSessionContext(ctx, req)
+	if err != nil {
+		return outcome{err: err}
+	}
+	wire := arrival.WireConfig{
+		LossProb:    d.o.loss,
+		DupProb:     d.o.dup,
+		ReorderProb: d.o.reorder,
+		CorruptProb: d.o.corrupt,
+	}
+	roles := []piano.Role{piano.RoleAuth, piano.RoleVouch}
+	evs := map[piano.Role][]arrival.WireEvent{}
+	for ri, role := range roles {
+		evs[role], err = arrival.Wire(d.arrCfg, wire, req.Seed*2+int64(ri), len(sess.Recording(role)))
+		if err != nil {
+			sess.Close()
+			return outcome{err: err}
+		}
+	}
+	at := map[piano.Role]int{}
+	finished := map[piano.Role]bool{}
+	for {
+		fedAny := false
+		for _, role := range roles {
+			if finished[role] {
+				continue
+			}
+			rec := sess.Recording(role)
+			if at[role] >= len(evs[role]) {
+				// Schedule exhausted: the transport is done; gaps become
+				// loss now rather than waiting forever.
+				if ferr := sess.FinishFeed(role); ferr != nil && !errors.Is(ferr, piano.ErrStreamDecided) {
+					return outcome{err: ferr}
+				}
+				finished[role] = true
+				continue
+			}
+			ev := evs[role][at[role]]
+			at[role]++
+			f := piano.NewFrame(ev.Seq, ev.Offset, rec[ev.Offset:ev.Offset+ev.N])
+			if ev.Corrupt {
+				f.CRC ^= 0xDEAD
+			}
+			ferr := sess.FeedFrame(role, f)
+			switch {
+			case ferr == nil, errors.Is(ferr, piano.ErrFrameCorrupt):
+				fedAny = true
+			case errors.Is(ferr, piano.ErrStreamDecided):
+				// Decided on the other role's feed; fetch below.
+			default:
+				return outcome{err: ferr}
+			}
+		}
+		if ctx.Err() != nil {
+			sess.Close()
+			_, rerr := sess.Result()
+			return outcome{err: rerr}
+		}
+		dec, need, terr := sess.TryResult()
+		if terr != nil {
+			return outcome{err: terr}
+		}
+		if need == 0 {
+			return outcome{lat: time.Since(start), granted: dec.Granted, degraded: dec.Degraded != nil}
+		}
+		if !fedAny && finished[roles[0]] && finished[roles[1]] {
+			return outcome{err: fmt.Errorf("session undecided after the full framed feed (need %d)", need)}
+		}
 	}
 }
 
@@ -372,6 +478,9 @@ func summarize(outcomes []outcome, wall time.Duration, o opts) Summary {
 		if out.granted {
 			s.Granted++
 		}
+		if out.degraded {
+			s.Degraded++
+		}
 		lats = append(lats, out.lat)
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -390,6 +499,9 @@ func summarize(outcomes []outcome, wall time.Duration, o opts) Summary {
 func printSummary(w io.Writer, s Summary) {
 	fmt.Fprintf(w, "\n%s/%s-loop: %d sessions offered, %d completed (%d granted)\n",
 		s.Mode, s.Loop, s.Sessions, s.Completed, s.Granted)
+	if s.Degraded > 0 {
+		fmt.Fprintf(w, "degraded:          %8d decided despite transport loss\n", s.Degraded)
+	}
 	if s.Loop == "open" {
 		fmt.Fprintf(w, "offered rate:      %8.1f sessions/s\n", s.OfferedRate)
 	} else {
@@ -454,6 +566,10 @@ func runCtx(ctx context.Context, w io.Writer, args []string) error {
 	fs.Float64Var(&o.jitter, "jitter", 0, "± fractional spread on chunk sizes and gaps (with -stream)")
 	fs.Float64Var(&o.underrun, "underrun", 0, "per-chunk underrun-burst probability (with -stream)")
 	fs.Float64Var(&o.abandonRate, "abandon-rate", 0, "probability a client stalls/abandons mid-feed (with -stream)")
+	fs.Float64Var(&o.loss, "loss", 0, "per-frame loss probability over the lossy wire (with -stream; any wire knob > 0 switches to framed feeding)")
+	fs.Float64Var(&o.dup, "dup", 0, "per-frame duplication probability over the lossy wire (with -stream)")
+	fs.Float64Var(&o.reorder, "reorder", 0, "per-frame reorder probability over the lossy wire (with -stream)")
+	fs.Float64Var(&o.corrupt, "corrupt", 0, "per-frame corruption probability over the lossy wire (with -stream)")
 	jsonPath := fs.String("json", "", "write the machine-readable summary to this path (\"-\" = stdout)")
 	grid := fs.Bool("grid", false, "record the scaling grid (GOMAXPROCS × concurrency × shards × mode) instead of one run")
 	gomaxprocs := fs.Int("gomaxprocs", 0, "set GOMAXPROCS for the run (0 = leave)")
@@ -471,6 +587,17 @@ func runCtx(ctx context.Context, w io.Writer, args []string) error {
 	}
 	if o.abandonRate > 0 && o.idleTimeout <= 0 {
 		return fmt.Errorf("-abandon-rate %g needs -idle-timeout > 0: abandoned sessions resolve only when the lifecycle watchdog is armed", o.abandonRate)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"loss", o.loss}, {"dup", o.dup}, {"reorder", o.reorder}, {"corrupt", o.corrupt}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("-%s %g outside [0, 1]", p.name, p.v)
+		}
+	}
+	if o.framed() && !o.stream {
+		return fmt.Errorf("-loss/-dup/-reorder/-corrupt model the framed transport and need -stream")
 	}
 	if *gomaxprocs > 0 {
 		prev := runtime.GOMAXPROCS(*gomaxprocs)
@@ -517,6 +644,14 @@ func runCtx(ctx context.Context, w io.Writer, args []string) error {
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(w, "interrupted: remaining sessions reported as canceled")
+		return nil
+	}
+	if s.Completed == 0 {
+		// A run where nothing succeeded must fail loudly — a dashboard
+		// scripting this binary should never mistake "every session shed or
+		// refused" for a healthy run with odd numbers. An interrupted run
+		// (above) is exempt: zero completions there are the operator's doing.
+		return fmt.Errorf("no sessions completed (%d offered, all shed or refused)", s.Sessions)
 	}
 	return nil
 }

@@ -33,6 +33,9 @@ func TestCategoryCoversTypedErrors(t *testing.T) {
 		{"expired", piano.ErrSessionExpired, "expired"},
 		{"internal", piano.ErrInternal, "internal"},
 		{"internal wrapped", fmt.Errorf("piano: %w", piano.ErrInternal), "internal"},
+		{"insufficient audio", piano.ErrInsufficientAudio, "insufficient"},
+		{"insufficient audio wrapped",
+			fmt.Errorf("core: streaming detect (auth role): %w", piano.ErrInsufficientAudio), "insufficient"},
 		{"context canceled", context.Canceled, "canceled"},
 		{"context deadline", context.DeadlineExceeded, "canceled"},
 		{"unknown", errors.New("mystery"), "other"},
@@ -213,6 +216,63 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		if err := runCtx(context.Background(), &buf, args); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRunStreamFramedLossyWire: the -loss/-dup/-reorder/-corrupt flags
+// switch streaming sessions to framed feeding over the seeded lossy wire.
+// Degraded decisions and insufficient-audio refusals are first-class in
+// the report — "other" must stay empty — and light loss must let at least
+// one session through.
+func TestRunStreamFramedLossyWire(t *testing.T) {
+	var buf bytes.Buffer
+	err := runCtx(context.Background(), &buf, []string{
+		"-sessions", "6", "-concurrency", "2", "-stream", "-seed", "5",
+		"-loss", "0.02", "-dup", "0.1", "-reorder", "0.2", "-corrupt", "0.02",
+		"-json", "-",
+	})
+	if err != nil {
+		t.Fatalf("runCtx: %v\n%s", err, buf.String())
+	}
+	s := parseSummary(t, buf.String())
+	if s.Completed == 0 {
+		t.Fatalf("light wire loss completed nothing: %+v", s)
+	}
+	if s.Shed["other"] != 0 {
+		t.Fatalf("lossy-wire outcomes leaked into the other bucket: %+v", s.Shed)
+	}
+	if s.Completed+s.Shed["insufficient"]+s.Shed["canceled"] != s.Sessions {
+		t.Fatalf("sessions unaccounted for: %+v", s)
+	}
+}
+
+// TestRunZeroSuccessExitsNonzero: a run where every session was refused
+// must fail the process, so scripts cannot mistake total refusal for a
+// healthy run. Total frame loss guarantees every session resolves
+// ErrInsufficientAudio.
+func TestRunZeroSuccessExitsNonzero(t *testing.T) {
+	var buf bytes.Buffer
+	err := runCtx(context.Background(), &buf, []string{
+		"-sessions", "3", "-concurrency", "2", "-stream", "-loss", "1", "-json", "-",
+	})
+	if err == nil {
+		t.Fatalf("all-refused run exited zero:\n%s", buf.String())
+	}
+	s := parseSummary(t, buf.String())
+	if s.Completed != 0 || s.Shed["insufficient"] != s.Sessions {
+		t.Fatalf("total loss should refuse every session typed: %+v", s)
+	}
+}
+
+// TestRunRejectsWireFlagsWithoutStream: the wire knobs model the framed
+// transport and are meaningless against batch Authenticate.
+func TestRunRejectsWireFlagsWithoutStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runCtx(context.Background(), &buf, []string{"-sessions", "2", "-loss", "0.1"}); err == nil {
+		t.Fatal("-loss without -stream accepted")
+	}
+	if err := runCtx(context.Background(), &buf, []string{"-sessions", "2", "-stream", "-corrupt", "1.5"}); err == nil {
+		t.Fatal("-corrupt 1.5 accepted")
 	}
 }
 

@@ -21,6 +21,12 @@
 // or vanish mid-feed (-abandon-rate), with the service's lifecycle
 // watchdog armed so abandoned sessions are reaped with typed errors and
 // their slots reclaimed during the drain.
+//
+// -loss/-dup/-reorder/-corrupt (with -stream) switch the feed to the
+// framed lossy transport: chunks travel as CRC-protected frames that can
+// be dropped, duplicated, reordered, or damaged in flight. Clean sessions
+// stay bit-identical to batch; sessions that lost audio decide degraded
+// (with a loss report) or refuse with a typed insufficient-audio error.
 package main
 
 import (
@@ -86,6 +92,8 @@ func shedCategory(err error) string {
 		return "closed"
 	case errors.Is(err, piano.ErrInternal):
 		return "internal"
+	case errors.Is(err, piano.ErrInsufficientAudio):
+		return "insufficient"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return "canceled"
 	default:
@@ -94,7 +102,7 @@ func shedCategory(err error) string {
 }
 
 // shedCategories is the report order for shed buckets.
-var shedCategories = []string{"stalled", "expired", "overloaded", "closed", "internal", "canceled", "other"}
+var shedCategories = []string{"stalled", "expired", "overloaded", "closed", "internal", "insufficient", "canceled", "other"}
 
 // printShed reports the shed map in category order.
 func printShed(w io.Writer, shed map[string]int, total, completed int) {
@@ -119,6 +127,98 @@ type streamOpts struct {
 	abandonRate  float64       // probability a client stalls/abandons mid-feed
 	idleTimeout  time.Duration // watchdog idle bound override (0 = auto from the arrival model)
 	drainTimeout time.Duration // shutdown bound for resolving open sessions
+	loss         float64       // per-frame loss probability (framed transport)
+	dup          float64       // per-frame duplication probability
+	reorder      float64       // per-frame reorder probability
+	corrupt      float64       // per-frame in-flight corruption probability
+}
+
+// framed reports whether any wire-fault knob is set, switching the stream
+// demo from plain ordered Feed to the framed lossy-transport path.
+func (o streamOpts) framed() bool {
+	return o.loss > 0 || o.dup > 0 || o.reorder > 0 || o.corrupt > 0
+}
+
+// feedFramed drives one session through a deterministic lossy-wire
+// schedule: each role's chunk partition is framed, and frames are lost,
+// duplicated, reordered, or corrupted per the WireConfig. Corrupt frames
+// are sent damaged — the service rejects them with a typed error and the
+// samples become a gap, resolved (with the lost tail) by FinishFeed when
+// the schedule runs dry. Returns the decision, the furthest sample offset
+// fed, and the count of corrupt frames sent.
+func feedFramed(ctx context.Context, sess *piano.AuthSession, req piano.AuthRequest, arrCfg arrival.Config, wireCfg arrival.WireConfig) (dec *piano.Decision, fedMax, corrupt int, err error) {
+	roles := []piano.Role{piano.RoleAuth, piano.RoleVouch}
+	evs := make([][]arrival.WireEvent, len(roles))
+	for ri, role := range roles {
+		rec := sess.Recording(role)
+		if evs[ri], err = arrival.Wire(arrCfg, wireCfg, req.Seed*2+int64(ri), len(rec)); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	idx := make([]int, len(roles))
+	for {
+		if ctx.Err() != nil {
+			return nil, fedMax, corrupt, ctx.Err()
+		}
+		fedAny := false
+		for ri, role := range roles {
+			if idx[ri] >= len(evs[ri]) {
+				continue
+			}
+			ev := evs[ri][idx[ri]]
+			idx[ri]++
+			fedAny = true
+			rec := sess.Recording(role)
+			f := piano.NewFrame(ev.Seq, ev.Offset, rec[ev.Offset:ev.Offset+ev.N])
+			if ev.Corrupt {
+				// Damage the payload's checksum: the service must reject
+				// the frame with the typed corruption error, never score it.
+				f.CRC ^= 0xBAD
+				corrupt++
+			}
+			ferr := sess.FeedFrame(role, f)
+			switch {
+			case ferr == nil:
+				if end := ev.Offset + ev.N; end > fedMax {
+					fedMax = end
+				}
+			case ev.Corrupt && errors.Is(ferr, piano.ErrFrameCorrupt):
+				// Expected: the damaged frame bounced. Its samples are now
+				// a gap unless a duplicate repairs them.
+			case errors.Is(ferr, piano.ErrStreamDecided):
+				// The session decided mid-schedule; TryResult below
+				// collects the decision.
+			default:
+				return nil, fedMax, corrupt, ferr
+			}
+		}
+		d, need, terr := sess.TryResult()
+		if terr != nil {
+			return nil, fedMax, corrupt, terr
+		}
+		if need == 0 {
+			return d, fedMax, corrupt, nil
+		}
+		if !fedAny {
+			break
+		}
+	}
+	// Schedule exhausted without a decision: the client is done sending, so
+	// declare the feeds finished — unrepaired gaps and the lost tail become
+	// declared losses and the session decides degraded or refuses.
+	for _, role := range roles {
+		if ferr := sess.FinishFeed(role); ferr != nil && !errors.Is(ferr, piano.ErrStreamDecided) {
+			return nil, fedMax, corrupt, ferr
+		}
+	}
+	d, need, terr := sess.TryResult()
+	if terr != nil {
+		return nil, fedMax, corrupt, terr
+	}
+	if need != 0 {
+		return nil, fedMax, corrupt, fmt.Errorf("session undecided after the full framed feed (need %d)", need)
+	}
+	return d, fedMax, corrupt, nil
 }
 
 // runStreamDemo drives the online session API through the arrival traffic
@@ -142,6 +242,14 @@ func runStreamDemo(ctx context.Context, w io.Writer, reqs []piano.AuthRequest, w
 	}
 	if _, err := arrival.New(arrCfg, 1); err != nil {
 		return err
+	}
+	wireCfg := arrival.WireConfig{LossProb: o.loss, DupProb: o.dup, ReorderProb: o.reorder, CorruptProb: o.corrupt}
+	if o.framed() {
+		// Probe the wire model once so a bad probability fails fast, before
+		// any headers print.
+		if _, err := arrival.Wire(arrCfg, wireCfg, 1, 1); err != nil {
+			return err
+		}
 	}
 
 	// Arm the lifecycle watchdog: the idle bound must comfortably exceed
@@ -171,14 +279,20 @@ func runStreamDemo(ctx context.Context, w io.Writer, reqs []piano.AuthRequest, w
 	const rate = 44100.0
 	fmt.Fprintf(w, "piano-serve -stream: %d sessions, ~%d ms chunks ±%.0f%%, underrun p=%.2f, abandon p=%.2f, pace %gx\n",
 		len(reqs), o.chunkMS, 100*o.jitter, o.underrun, o.abandonRate, o.pace)
-	fmt.Fprintf(w, "lifecycle watchdog: SessionIdleTimeout %v (stalled clients reaped, slots reclaimed)\n\n", idle)
+	fmt.Fprintf(w, "lifecycle watchdog: SessionIdleTimeout %v (stalled clients reaped, slots reclaimed)\n", idle)
+	if o.framed() {
+		fmt.Fprintf(w, "lossy transport: framed chunks with loss p=%.2f, dup p=%.2f, reorder p=%.2f, corrupt p=%.2f\n",
+			o.loss, o.dup, o.reorder, o.corrupt)
+	}
+	fmt.Fprintln(w)
 
 	roles := []piano.Role{piano.RoleAuth, piano.RoleVouch}
 	var sumAudio, sumFull, sumStreamWall, sumBatchWall float64
 	var pending []*piano.AuthSession // abandoned/interrupted sessions, left to the watchdog
+	shed := map[string]int{}
 	underruns := 0
 	fates := map[arrival.Kind]int{}
-	done := 0
+	done, degradedN, corruptN := 0, 0, 0
 	for i, req := range reqs {
 		if ctx.Err() != nil {
 			break
@@ -199,6 +313,46 @@ func runStreamDemo(ctx context.Context, w io.Writer, reqs []piano.AuthRequest, w
 			}
 			return err
 		}
+		if o.framed() {
+			start := time.Now()
+			dec, fed, corr, ferr := feedFramed(ctx, sess, req, arrCfg, wireCfg)
+			corruptN += corr
+			if ferr != nil {
+				if ctx.Err() != nil {
+					pending = append(pending, sess)
+					goto drain
+				}
+				if errors.Is(ferr, piano.ErrInsufficientAudio) {
+					shed["insufficient"]++
+					fmt.Fprintf(w, "  session %2d: refused — transport loss left too little intact audio (typed error, never a low-confidence guess)\n", i)
+					continue
+				}
+				return ferr
+			}
+			streamWall := time.Since(start)
+			note := ""
+			if dec.Degraded != nil {
+				// A degraded decision deliberately excluded lost windows, so
+				// bit-identity with the loss-free batch scan is not promised.
+				degradedN++
+				note = fmt.Sprintf("  [degraded: %d samples lost, %d windows excluded]",
+					dec.Degraded.LostSamples, dec.Degraded.LostWindows)
+			} else if dec.Granted != ref.Granted || dec.Reason != ref.Reason ||
+				math.Float64bits(dec.DistanceM) != math.Float64bits(ref.DistanceM) {
+				return fmt.Errorf("session %d: clean framed decision %+v diverged from batch %+v", i, dec, ref)
+			}
+			audioSec := float64(fed) / rate
+			fullSec := math.Max(float64(len(sess.Recording(piano.RoleAuth))), float64(len(sess.Recording(piano.RoleVouch)))) / rate
+			sumAudio += audioSec
+			sumFull += fullSec
+			sumStreamWall += streamWall.Seconds()
+			sumBatchWall += batchWall.Seconds()
+			done++
+			fmt.Fprintf(w, "  session %2d: %-45s decided on %4.0f of %4.0f ms of audio (%.0f%%)%s\n",
+				i, dec.Reason, audioSec*1e3, fullSec*1e3, 100*audioSec/fullSec, note)
+			continue
+		}
+
 		// One deterministic arrival source per role: this client's
 		// microphone schedule, replayable from the request seed.
 		src := map[piano.Role]*arrival.Source{}
@@ -293,7 +447,6 @@ drain:
 	// stalled clients (ErrSessionStalled), an interrupt cancels via the
 	// session context — and its slot must come back. Sessions still open
 	// at the deadline are closed explicitly so nothing leaks.
-	shed := map[string]int{}
 	lateDecided, abandonedAtDeadline := 0, 0
 	if len(pending) > 0 {
 		fmt.Fprintf(w, "\ndraining %d unresolved sessions (budget %v)...\n", len(pending), o.drainTimeout)
@@ -340,7 +493,7 @@ drain:
 				len(pending), drainDur.Seconds()*1e3, o.drainTimeout)
 		}
 	}
-	printShed(w, shed, len(reqs), len(reqs)-len(pending)+lateDecided)
+	printShed(w, shed, len(reqs), len(reqs)-len(pending)+lateDecided-shed["insufficient"])
 	if ctx.Err() != nil {
 		fmt.Fprintf(w, "interrupted: %d/%d streamed sessions completed\n", done, len(reqs))
 		return nil
@@ -351,7 +504,12 @@ drain:
 		return nil
 	}
 	n := float64(done)
-	fmt.Fprintf(w, "\nall %d streamed decisions bit-identical to the batch path", done)
+	if o.framed() {
+		fmt.Fprintf(w, "\n%d decided over the lossy wire: %d clean (bit-identical to batch), %d degraded by declared loss; %d refused for insufficient intact audio; %d corrupt frames rejected",
+			done, done-degradedN, degradedN, shed["insufficient"], corruptN)
+	} else {
+		fmt.Fprintf(w, "\nall %d streamed decisions bit-identical to the batch path", done)
+	}
 	if underruns > 0 || fates[arrival.Stall]+fates[arrival.Abandon] > 0 {
 		fmt.Fprintf(w, " (through %d underrun bursts; %d stalls and %d abandons reaped)",
 			underruns, fates[arrival.Stall], fates[arrival.Abandon])
@@ -381,10 +539,18 @@ func runCtx(ctx context.Context, w io.Writer, args []string) error {
 	underrun := fs.Float64("underrun", 0.05, "per-chunk probability of an underrun backlog burst (with -stream)")
 	abandonRate := fs.Float64("abandon-rate", 0, "probability a client stalls or abandons mid-feed, leaving its session to the watchdog (with -stream)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "override the lifecycle watchdog's idle bound (0 = derive from the arrival model; with -stream)")
+	loss := fs.Float64("loss", 0, "per-frame probability a framed chunk is lost in flight, enabling the lossy framed transport (with -stream)")
+	dup := fs.Float64("dup", 0, "per-frame probability a framed chunk is duplicated in flight (with -stream)")
+	reorder := fs.Float64("reorder", 0, "per-frame probability a framed chunk is delivered out of order (with -stream)")
+	corrupt := fs.Float64("corrupt", 0, "per-frame probability a framed chunk is corrupted in flight and rejected by CRC (with -stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	reqs := workload(*sessions)
+
+	if (*loss > 0 || *dup > 0 || *reorder > 0 || *corrupt > 0) && !*stream {
+		return errors.New("-loss/-dup/-reorder/-corrupt model the framed streaming transport and require -stream")
+	}
 
 	if *stream {
 		return runStreamDemo(ctx, w, reqs, *workers, streamOpts{
@@ -395,6 +561,10 @@ func runCtx(ctx context.Context, w io.Writer, args []string) error {
 			abandonRate:  *abandonRate,
 			idleTimeout:  *idleTimeout,
 			drainTimeout: *drainTimeout,
+			loss:         *loss,
+			dup:          *dup,
+			reorder:      *reorder,
+			corrupt:      *corrupt,
 		})
 	}
 

@@ -176,6 +176,58 @@ func TestRunServeInterruptDrains(t *testing.T) {
 	}
 }
 
+// TestRunServeStreamWireClean: duplication and reordering without loss
+// must be fully repaired by the frame reassembler — every session decides
+// clean and bit-identical to the batch path.
+func TestRunServeStreamWireClean(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{
+		"-stream", "-stream-pace", "0", "-sessions", "3", "-workers", "2",
+		"-dup", "0.2", "-reorder", "0.3",
+	})
+	if err != nil {
+		t.Fatalf("clean wire run errored: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"lossy transport: framed chunks",
+		"3 clean (bit-identical to batch), 0 degraded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunServeStreamWireLoss: real frame loss must surface only as
+// degraded decisions (with a loss report) or typed insufficient-audio
+// refusals — never a silent divergence from batch.
+func TestRunServeStreamWireLoss(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{
+		"-stream", "-stream-pace", "0", "-sessions", "3", "-workers", "2",
+		"-loss", "0.05", "-corrupt", "0.03",
+	})
+	if err != nil {
+		t.Fatalf("lossy wire run errored: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "degraded") && !strings.Contains(out, "insufficient") {
+		t.Errorf("loss left no degraded or insufficient trace in the output:\n%s", out)
+	}
+}
+
+// TestRunServeWireFlagValidation: wire knobs without -stream, or outside
+// [0, 1], are rejected up front.
+func TestRunServeWireFlagValidation(t *testing.T) {
+	if err := run(&bytes.Buffer{}, []string{"-loss", "0.1"}); err == nil || !strings.Contains(err.Error(), "require -stream") {
+		t.Fatalf("-loss without -stream accepted (err %v)", err)
+	}
+	if err := run(&bytes.Buffer{}, []string{"-stream", "-stream-pace", "0", "-sessions", "1", "-loss", "1.5"}); err == nil {
+		t.Fatal("-loss 1.5 accepted")
+	}
+}
+
 // TestRunServePreInterrupted: a process already signalled before the burst
 // skips the service pass entirely.
 func TestRunServePreInterrupted(t *testing.T) {

@@ -60,6 +60,19 @@ type SessionDeps struct {
 	Ctx context.Context
 }
 
+// Degraded reports the transport loss a streaming decision survived: the
+// session decided from the audio that arrived, with the lost spans'
+// windows excluded from scoring and the exact-at-peak candidate bands
+// verified intact. Populated only on decisions made over a lossy feed —
+// clean sessions (and the batch pipeline) carry a nil report.
+type Degraded struct {
+	// LostSamples counts samples declared lost across both roles' feeds.
+	LostSamples int
+	// LostWindows counts the coarse grid windows those spans excluded
+	// from scoring, across both roles.
+	LostWindows int
+}
+
 // SessionResult captures one full run of ACTION.
 type SessionResult struct {
 	// DistanceM is the Eq. 3 estimate; valid only when Found.
@@ -88,6 +101,10 @@ type SessionResult struct {
 	// WindowsScanned counts NormPower evaluations on the authenticating
 	// device (shared coarse scan counted once).
 	WindowsScanned int
+
+	// Degraded is the lossy-transport accounting of a streaming decision
+	// that survived loss; nil for clean feeds and batch sessions.
+	Degraded *Degraded
 }
 
 // sameIndexSet reports whether two sorted index slices are identical.

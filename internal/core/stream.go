@@ -191,6 +191,25 @@ func (ss *SessionStream) Feed(role Role, pcm []int16) error {
 	return ss.streams[role].Feed(ss.p.deps.Ctx, pcm)
 }
 
+// FeedLost declares the role's next n samples lost to the transport: the
+// reassembly layer gave up repairing a gap. The span is zero-filled and
+// every coarse window overlapping it is deterministically excluded from
+// the role's scoring; when cumulative loss crosses the detect config's
+// MaxLossFraction ceiling the error (detect.ErrInsufficientAudio, match
+// with errors.Is) is sticky and the session can no longer decide.
+func (ss *SessionStream) FeedLost(role Role, n int) error {
+	if !role.valid() {
+		return fmt.Errorf("core: unknown stream role %d", int(role))
+	}
+	ss.mu.Lock()
+	done := ss.done
+	ss.mu.Unlock()
+	if done {
+		return ErrStreamDecided
+	}
+	return ss.streams[role].FeedLost(ss.p.deps.Ctx, n)
+}
+
 // TryResult attempts the session decision over the audio fed so far.
 //
 // A role is ready once it has been fed to its EarlyFeedLen horizon (the
@@ -234,6 +253,20 @@ func (ss *SessionStream) TryResult() (*SessionResult, int, error) {
 	// session RNG, so re-running it would fork the deterministic stream.
 	ss.res, ss.err = ss.p.finishACTION(roleRes[RoleAuth], roleRes[RoleVouch])
 	ss.done = true
+	if ss.err == nil && ss.res != nil {
+		// A decision that survived transport loss carries its degraded-
+		// mode accounting; a clean session's report stays nil, keeping the
+		// zero-loss result bit-identical to the batch pipeline's.
+		var d Degraded
+		for r := range ss.streams {
+			s, w := ss.streams[r].Loss()
+			d.LostSamples += s
+			d.LostWindows += w
+		}
+		if d.LostSamples > 0 {
+			ss.res.Degraded = &d
+		}
+	}
 	return ss.res, 0, ss.err
 }
 
@@ -309,6 +342,15 @@ func (as *AuthStream) Feed(role Role, pcm []int16) error {
 		return ErrStreamDecided
 	}
 	return as.ss.Feed(role, pcm)
+}
+
+// FeedLost declares the role's next n samples lost to the transport (see
+// SessionStream.FeedLost).
+func (as *AuthStream) FeedLost(role Role, n int) error {
+	if as.ss == nil {
+		return ErrStreamDecided
+	}
+	return as.ss.FeedLost(role, n)
 }
 
 // TryResult attempts the authentication decision over the audio fed so

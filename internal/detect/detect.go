@@ -49,6 +49,14 @@ type Config struct {
 	CandidateBandLo int
 	CandidateBandHi int
 
+	// MaxLossFraction is the degraded-mode ceiling for streaming
+	// ingestion over a lossy transport: the fraction of a stream's
+	// declared recording that may be declared lost before the scan gives
+	// up with ErrInsufficientAudio instead of deciding from what remains.
+	// 0 means DefaultMaxLossFraction; 1 disables the ceiling. Values
+	// outside [0, 1] are rejected. Batch scans ignore it.
+	MaxLossFraction float64
+
 	// DisableBetaCheck turns off the foreign-frequency sanity check.
 	// ABLATION ONLY: the paper's §V argues this check is what defeats
 	// all-frequency spoofing; the ablation bench demonstrates that
@@ -83,6 +91,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("detect: steps %d/%d must be ≥1", c.CoarseStep, c.FineStep)
 	case c.FineStep > c.CoarseStep:
 		return fmt.Errorf("detect: fine step %d exceeds coarse step %d", c.FineStep, c.CoarseStep)
+	case c.MaxLossFraction < 0 || c.MaxLossFraction > 1:
+		return fmt.Errorf("detect: max loss fraction %g outside [0, 1]", c.MaxLossFraction)
 	}
 	if c.CandidateBandLo != 0 || c.CandidateBandHi != 0 {
 		switch {

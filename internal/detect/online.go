@@ -63,10 +63,18 @@ type Stream struct {
 	grid   dsp.HopGrid
 	stream bool // coarse scan below the sliding-DFT break-even
 
+	maxLost int // lost-sample ceiling (MaxLossFraction × total)
+
 	mu      sync.Mutex
 	buf     []int16   // arrived PCM, cap == total
 	scanned int       // coarse windows scored so far (prefix, window order)
 	scores  []float64 // coarse scores, grid.Count × len(specs)
+
+	// Lossy-transport accounting: spans declared lost via FeedLost,
+	// merged ascending, zero-filled in buf. Windows overlapping them are
+	// excluded from the Results fold (see loss.go).
+	lost        []lostSpan
+	lostSamples int
 }
 
 // NewStream opens an incremental scan for a recording declared to be total
@@ -113,17 +121,22 @@ func (d *Detector) NewStream(total int, sigs ...*sigref.Signal) (*Stream, error)
 		Count:  limit/d.cfg.CoarseStep + 1,
 		Block:  block,
 	}
+	frac := d.cfg.MaxLossFraction
+	if frac == 0 {
+		frac = DefaultMaxLossFraction
+	}
 	return &Stream{
-		d:      d,
-		specs:  specs,
-		band:   band,
-		winLen: winLen,
-		total:  total,
-		limit:  limit,
-		grid:   grid,
-		stream: stream,
-		buf:    make([]int16, 0, total),
-		scores: make([]float64, grid.Count*len(specs)),
+		d:       d,
+		specs:   specs,
+		band:    band,
+		winLen:  winLen,
+		total:   total,
+		limit:   limit,
+		grid:    grid,
+		stream:  stream,
+		maxLost: int(frac * float64(total)),
+		buf:     make([]int16, 0, total),
+		scores:  make([]float64, grid.Count*len(specs)),
 	}, nil
 }
 
@@ -231,6 +244,11 @@ func (st *Stream) advance(ctx context.Context) error {
 func (st *Stream) Results(ctx context.Context) ([]Result, int, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// A stream past its loss ceiling never decides — the refusal is
+	// sticky and typed, whatever the caller does next.
+	if err := st.ceiling(); err != nil {
+		return nil, 0, err
+	}
 	// Resume a scan a failed Feed left behind (no-op otherwise).
 	if err := st.advance(ctx); err != nil {
 		return nil, 0, err
@@ -240,6 +258,13 @@ func (st *Stream) Results(ctx context.Context) ([]Result, int, error) {
 		return nil, st.grid.NeedFor(0) - fed, nil
 	}
 
+	// Degraded mode: windows overlapping a lost span hold zero-filled
+	// fabricated audio. Their scores are computed (keeping the scan
+	// arithmetic identical to a clean feed) but deterministically excluded
+	// from the argmax — exclusion depends only on the fixed grid and the
+	// lost spans, never on chunking or GOMAXPROCS.
+	excl, nExcl := st.excludedWindows()
+
 	k := len(st.specs)
 	bestIdx := make([]int, k)
 	bestPow := make([]float64, k)
@@ -248,6 +273,9 @@ func (st *Stream) Results(ctx context.Context) ([]Result, int, error) {
 		bestIdx[s] = -1
 	}
 	for w := 0; w < st.scanned; w++ {
+		if excl != nil && excl[w] {
+			continue
+		}
 		i := st.grid.WindowStart(w)
 		row := st.scores[w*k : (w+1)*k]
 		for s := range st.specs {
@@ -272,6 +300,26 @@ func (st *Stream) Results(ctx context.Context) ([]Result, int, error) {
 	}
 	if need > 0 {
 		return nil, need, nil
+	}
+
+	// Degraded-mode gates, after the candidates are known. A candidate
+	// whose fine-scan span (argmax ± CoarseStep plus one window) touches a
+	// lost span cannot be exact-at-peak re-checked against real audio; a ⊥
+	// with excluded windows might have found its signal in the audio that
+	// never arrived. Both refuse typed rather than guess.
+	for s := range st.specs {
+		if bestIdx[s] < 0 || math.IsInf(bestPow[s], -1) {
+			if nExcl > 0 {
+				return nil, 0, fmt.Errorf("%w: no signal in the surviving windows with %d of %d windows lost",
+					ErrInsufficientAudio, nExcl, st.grid.Count)
+			}
+			continue
+		}
+		lo, hi, _ := st.d.cfg.fineRange(bestIdx[s], st.limit)
+		if st.overlapsLost(lo, hi+st.winLen) {
+			return nil, 0, fmt.Errorf("%w: fine-scan span [%d, %d) around the peak at %d overlaps lost audio",
+				ErrInsufficientAudio, lo, hi+st.winLen, bestIdx[s])
+		}
 	}
 
 	fineStream := !st.d.disableStream && dsp.StreamingWins(st.winLen, st.band.hi-st.band.lo, st.d.cfg.FineStep)
@@ -300,6 +348,12 @@ func (st *Stream) Results(ctx context.Context) ([]Result, int, error) {
 		results[s].WindowsScanned += fineCount
 		results[s].Power = bestPow[s]
 		if bestPow[s] < ss.absentFloor {
+			if nExcl > 0 {
+				// An absent verdict is only trustworthy when every grid
+				// window was scored: the signal may sit in the lost audio.
+				return nil, 0, fmt.Errorf("%w: signal below the ε floor with %d of %d windows lost",
+					ErrInsufficientAudio, nExcl, st.grid.Count)
+			}
 			results[s].Found = false
 			continue
 		}

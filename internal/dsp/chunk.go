@@ -84,6 +84,34 @@ func (g HopGrid) CompleteBlocks(fed int) int {
 // Blocks returns the total number of resync blocks in the grid.
 func (g HopGrid) Blocks() int { return (g.Count + g.Block - 1) / g.Block }
 
+// WindowsOverlapping returns the index range [w0, w1) of grid windows
+// whose sample span [WindowStart(w), WindowStart(w)+WinLen) intersects the
+// half-open sample range [lo, hi) — the windows a lost transport span
+// taints. The range is clamped to [0, Count]; an empty intersection
+// returns w0 == w1. This is the gap-accounting primitive of the lossy
+// ingestion layer: exclusion is decided per fixed grid window, so it is a
+// pure function of the lost span, independent of chunking or scan order.
+func (g HopGrid) WindowsOverlapping(lo, hi int) (w0, w1 int) {
+	if hi <= lo {
+		return 0, 0
+	}
+	// First window with start+WinLen > lo, i.e. start > lo-WinLen.
+	if v := lo - g.WinLen - g.Lo; v >= 0 {
+		w0 = v/g.Step + 1
+	}
+	// First window with start ≥ hi bounds the overlap from above.
+	if v := hi - g.Lo; v > 0 {
+		w1 = (v + g.Step - 1) / g.Step
+	}
+	if w1 > g.Count {
+		w1 = g.Count
+	}
+	if w0 > w1 {
+		w0 = w1
+	}
+	return w0, w1
+}
+
 // BlockBounds returns block b's window range [w0, w1).
 func (g HopGrid) BlockBounds(b int) (w0, w1 int) {
 	w0 = b * g.Block

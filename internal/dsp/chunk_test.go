@@ -99,3 +99,43 @@ func TestHopGridBlocks(t *testing.T) {
 		t.Fatalf("CompleteBlocks at grid close = %d, want %d", got, g.Blocks())
 	}
 }
+
+// TestHopGridWindowsOverlapping checks the lost-span→window mapping
+// against a brute-force sweep over every window, across several grid
+// shapes and span positions (block edges, 1-sample spans, empty spans).
+func TestHopGridWindowsOverlapping(t *testing.T) {
+	grids := []HopGrid{
+		{Lo: 0, Step: 1000, WinLen: 4410, Count: 49, Block: 64},
+		{Lo: 0, Step: 10, WinLen: 100, Count: 130, Block: 64},
+		{Lo: 7, Step: 3, WinLen: 5, Count: 40, Block: 4},
+	}
+	for gi, g := range grids {
+		spans := [][2]int{
+			{0, 1},
+			{g.WindowStart(3), g.WindowStart(3) + 1},            // window-start edge
+			{g.NeedFor(3) - 1, g.NeedFor(3)},                    // last sample of a window
+			{g.NeedFor(3), g.NeedFor(3) + 1},                    // just past a window
+			{g.WindowStart(5), g.NeedFor(7)},                    // exact multi-window span
+			{g.NeedFor(g.Count - 1), g.NeedFor(g.Count-1) + 50}, // past the grid
+			{-20, 1},
+			{15, 15}, // empty
+			{0, g.NeedFor(g.Count-1) + 100}, // everything
+		}
+		for _, sp := range spans {
+			lo, hi := sp[0], sp[1]
+			w0, w1 := g.WindowsOverlapping(lo, hi)
+			for w := 0; w < g.Count; w++ {
+				start := g.WindowStart(w)
+				want := hi > lo && start < hi && start+g.WinLen > lo
+				got := w >= w0 && w < w1
+				if got != want {
+					t.Fatalf("grid %d span [%d,%d): window %d in [%d,%d)=%v, brute force %v",
+						gi, lo, hi, w, w0, w1, got, want)
+				}
+			}
+			if w0 < 0 || w1 > g.Count || w0 > w1 {
+				t.Fatalf("grid %d span [%d,%d): malformed range [%d,%d)", gi, lo, hi, w0, w1)
+			}
+		}
+	}
+}

@@ -32,6 +32,13 @@ const (
 	// here simulates a feeder-goroutine crash, which resolves the whole
 	// session to ErrInternal; delay simulates a stalled audio source.
 	SiteStreamFeed = "service.feed"
+	// SiteFrameFeed fires once per Session.FeedFrame call on a streaming
+	// authentication session, before the frame enters the reassembler. An
+	// error fails that frame (nothing is ingested; the session stays
+	// open); panic here simulates a framed-feeder crash, which resolves
+	// the whole session to ErrInternal; delay simulates a congested
+	// transport.
+	SiteFrameFeed = "service.framefeed"
 	// SiteServiceWatchdog fires once per lifecycle-watchdog sweep, before
 	// any open session's idle/lifetime deadlines are checked. An error
 	// skips that sweep (the watchdog stays alive and sweeps again next

@@ -1,0 +1,16 @@
+// Package frame is the lossy-transport ingestion layer of a streaming
+// authentication session: a small self-describing wire format for PCM
+// chunks (Frame, Encode, Decode — seq/offset/CRC-protected) and a
+// Reassembler that accepts frames out of order, buffers a bounded reorder
+// window, repairs gaps from retransmissions, and converts what cannot be
+// repaired into explicit lost-span deliveries — so the in-order scan
+// engine above it never sees desynchronized audio and the session layer
+// can make typed degraded-mode decisions instead of silently scoring a
+// hole.
+//
+// The reassembler is deterministic: the delivery sequence (data runs and
+// lost spans alike) is a pure function of the frame arrival sequence and
+// the reorder-window bound. Wall-clock gap expiry (Expire) is the only
+// time-dependent path, and it is driven explicitly by the caller's clock,
+// never by an internal timer.
+package frame

@@ -1,0 +1,165 @@
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Wire-format constants. A frame is a fixed 17-byte header followed by the
+// PCM payload, little-endian throughout:
+//
+//	offset  size  field
+//	0       2     magic "PF"
+//	2       1     version (1)
+//	3       4     Seq     uint32
+//	7       4     Offset  uint32 (samples into the recording)
+//	11      2     n       uint16 (payload length in samples)
+//	13      4     CRC     uint32 (CRC-32/IEEE over bytes [3,13) + payload)
+//	17      2·n   PCM     int16 little-endian
+const (
+	// HeaderLen is the fixed encoded header size in bytes.
+	HeaderLen = 17
+	// Version is the wire-format version this package encodes and accepts.
+	Version = 1
+	// MaxFrameSamples is the largest payload one frame may carry — the
+	// uint16 length field's ceiling, ~1.5 s of audio at 44.1 kHz.
+	MaxFrameSamples = 1<<16 - 1
+)
+
+// The two magic bytes opening every encoded frame.
+const (
+	magic0 = 'P'
+	magic1 = 'F'
+)
+
+// Typed frame-codec failures; match with errors.Is.
+var (
+	// ErrMalformed rejects bytes that are not a frame at all: short of a
+	// header, wrong magic or version, or a length field disagreeing with
+	// the buffer. Nothing about the content can be trusted.
+	ErrMalformed = errors.New("frame: malformed frame")
+	// ErrCorrupt rejects a structurally valid frame whose CRC does not
+	// match its header and payload: the transport damaged it in flight.
+	// Corrupt frames are never scored — the receiver treats them as
+	// missing audio, repairable by retransmission.
+	ErrCorrupt = errors.New("frame: payload CRC mismatch")
+	// ErrRange rejects a frame whose payload lies (partly) outside the
+	// session's declared recording: a hostile or desynchronized sender.
+	ErrRange = errors.New("frame: payload outside the declared recording")
+)
+
+// Frame is one wire chunk of a streamed recording: PCM samples claiming
+// positions [Offset, Offset+len(PCM)) of the session's recording, tagged
+// with a sender sequence number and a CRC over header and payload. Offset
+// is authoritative for reassembly; Seq is a diagnostic ordering tag
+// (duplicate and retransmitted frames reuse the original's Seq).
+type Frame struct {
+	// Seq is the sender's frame counter.
+	Seq uint32
+	// Offset is the payload's first sample index in the recording.
+	Offset int
+	// CRC is the CRC-32 (IEEE) over the encoded seq/offset/length header
+	// fields and the little-endian payload bytes. New computes it;
+	// Verify and Decode check it.
+	CRC uint32
+	// PCM is the payload.
+	PCM []int16
+}
+
+// New builds a frame with its CRC computed — the sender-side constructor.
+func New(seq uint32, offset int, pcm []int16) Frame {
+	return Frame{Seq: seq, Offset: offset, CRC: checksum(seq, offset, pcm), PCM: pcm}
+}
+
+// Verify recomputes the frame's checksum against its CRC field, returning
+// ErrCorrupt on mismatch. Decode already verifies; Verify exists for
+// frames that arrived as in-memory values rather than wire bytes.
+func (f Frame) Verify() error {
+	if checksum(f.Seq, f.Offset, f.PCM) != f.CRC {
+		return fmt.Errorf("%w: seq %d offset %d", ErrCorrupt, f.Seq, f.Offset)
+	}
+	return nil
+}
+
+// checksum is the frame CRC: CRC-32/IEEE over the 10 encoded header bytes
+// (seq, offset, length) followed by the payload's little-endian bytes, so
+// a frame whose header was damaged in flight fails the check exactly like
+// one with damaged samples.
+func checksum(seq uint32, offset int, pcm []int16) uint32 {
+	var hdr [10]byte
+	binary.LittleEndian.PutUint32(hdr[0:], seq)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(offset))
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(len(pcm)))
+	crc := crc32.ChecksumIEEE(hdr[:])
+	var buf [256]byte
+	for at := 0; at < len(pcm); {
+		n := 0
+		for ; n < len(buf)/2 && at+n < len(pcm); n++ {
+			binary.LittleEndian.PutUint16(buf[2*n:], uint16(pcm[at+n]))
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:2*n])
+		at += n
+	}
+	return crc
+}
+
+// EncodedLen returns the wire size of a frame carrying n samples.
+func EncodedLen(n int) int { return HeaderLen + 2*n }
+
+// Encode serializes the frame. The frame must satisfy the wire format's
+// bounds: payload within MaxFrameSamples, offset within uint32.
+func (f Frame) Encode() ([]byte, error) {
+	if len(f.PCM) > MaxFrameSamples {
+		return nil, fmt.Errorf("frame: payload %d samples exceeds the %d-sample frame bound", len(f.PCM), MaxFrameSamples)
+	}
+	if f.Offset < 0 || int64(f.Offset) > int64(^uint32(0)) {
+		return nil, fmt.Errorf("frame: offset %d outside the wire format's uint32 range", f.Offset)
+	}
+	buf := make([]byte, EncodedLen(len(f.PCM)))
+	buf[0], buf[1], buf[2] = magic0, magic1, Version
+	binary.LittleEndian.PutUint32(buf[3:], f.Seq)
+	binary.LittleEndian.PutUint32(buf[7:], uint32(f.Offset))
+	binary.LittleEndian.PutUint16(buf[11:], uint16(len(f.PCM)))
+	binary.LittleEndian.PutUint32(buf[13:], f.CRC)
+	for i, s := range f.PCM {
+		binary.LittleEndian.PutUint16(buf[HeaderLen+2*i:], uint16(s))
+	}
+	return buf, nil
+}
+
+// Decode parses and verifies one encoded frame occupying exactly buf:
+// structural failures return ErrMalformed, a checksum failure ErrCorrupt
+// (both wrapped with detail). The returned frame's PCM is freshly
+// allocated — it does not alias buf.
+func Decode(buf []byte) (Frame, error) {
+	if len(buf) < HeaderLen {
+		return Frame{}, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrMalformed, len(buf), HeaderLen)
+	}
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return Frame{}, fmt.Errorf("%w: bad magic %q", ErrMalformed, buf[0:2])
+	}
+	if buf[2] != Version {
+		return Frame{}, fmt.Errorf("%w: unknown version %d", ErrMalformed, buf[2])
+	}
+	n := int(binary.LittleEndian.Uint16(buf[11:]))
+	if len(buf) != EncodedLen(n) {
+		return Frame{}, fmt.Errorf("%w: length field %d disagrees with %d buffer bytes", ErrMalformed, n, len(buf))
+	}
+	f := Frame{
+		Seq:    binary.LittleEndian.Uint32(buf[3:]),
+		Offset: int(binary.LittleEndian.Uint32(buf[7:])),
+		CRC:    binary.LittleEndian.Uint32(buf[13:]),
+	}
+	if n > 0 {
+		f.PCM = make([]int16, n)
+		for i := range f.PCM {
+			f.PCM[i] = int16(binary.LittleEndian.Uint16(buf[HeaderLen+2*i:]))
+		}
+	}
+	if err := f.Verify(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}

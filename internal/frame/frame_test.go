@@ -1,0 +1,106 @@
+package frame
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestFrameRoundTrip: Encode→Decode is the identity for payloads of many
+// sizes, including empty.
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 127, 1024, MaxFrameSamples} {
+		pcm := make([]int16, n)
+		for i := range pcm {
+			pcm[i] = int16(rng.Intn(1 << 16))
+		}
+		f := New(uint32(n)*7, 3*n+1, pcm)
+		buf, err := f.Encode()
+		if err != nil {
+			t.Fatalf("n=%d: encode: %v", n, err)
+		}
+		if len(buf) != EncodedLen(n) {
+			t.Fatalf("n=%d: encoded %d bytes, want %d", n, len(buf), EncodedLen(n))
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if got.Seq != f.Seq || got.Offset != f.Offset || got.CRC != f.CRC {
+			t.Fatalf("n=%d: header round-trip %+v != %+v", n, got, f)
+		}
+		if len(got.PCM) != len(f.PCM) {
+			t.Fatalf("n=%d: payload length %d != %d", n, len(got.PCM), len(f.PCM))
+		}
+		for i := range f.PCM {
+			if got.PCM[i] != f.PCM[i] {
+				t.Fatalf("n=%d: sample %d: %d != %d", n, i, got.PCM[i], f.PCM[i])
+			}
+		}
+	}
+}
+
+// TestFrameEncodeBounds: payloads over the frame bound and offsets outside
+// uint32 are rejected at encode time.
+func TestFrameEncodeBounds(t *testing.T) {
+	if _, err := (Frame{PCM: make([]int16, MaxFrameSamples+1)}).Encode(); err == nil {
+		t.Error("over-long payload encoded")
+	}
+	if _, err := (Frame{Offset: -1}).Encode(); err == nil {
+		t.Error("negative offset encoded")
+	}
+	if _, err := (Frame{Offset: 1 << 33}).Encode(); err == nil {
+		t.Error("offset beyond uint32 encoded")
+	}
+}
+
+// TestFrameDecodeMalformed pins the typed rejection of every structural
+// failure shape.
+func TestFrameDecodeMalformed(t *testing.T) {
+	good, err := New(7, 100, []int16{1, -2, 3}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": good[:HeaderLen-1],
+		"bad magic":    append([]byte{'X'}, good[1:]...),
+		"bad version":  append([]byte{good[0], good[1], 99}, good[3:]...),
+		"truncated":    good[:len(good)-1],
+		"trailing":     append(append([]byte{}, good...), 0),
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: got %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+// TestFrameDecodeCorrupt: flipping any payload or protected-header bit
+// fails the CRC typed.
+func TestFrameDecodeCorrupt(t *testing.T) {
+	good, err := New(7, 100, []int16{1, -2, 3}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []int{3, 8, 13, HeaderLen, len(good) - 1} {
+		buf := append([]byte{}, good...)
+		buf[at] ^= 0x40
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("flip at %d: decoded clean", at)
+		}
+	}
+	// A payload flip specifically must be ErrCorrupt (header flips may
+	// legitimately surface as a CRC-field mismatch too).
+	buf := append([]byte{}, good...)
+	buf[HeaderLen] ^= 0x01
+	if _, err := Decode(buf); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("payload flip: got %v, want ErrCorrupt", err)
+	}
+	f := New(1, 2, []int16{5, 6})
+	f.PCM[0] = 7
+	if err := f.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Verify after mutation: got %v, want ErrCorrupt", err)
+	}
+}

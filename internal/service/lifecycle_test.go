@@ -97,17 +97,19 @@ func TestLifecycleConfigValidation(t *testing.T) {
 // disabled.
 func TestLifecycleWatchdogInterval(t *testing.T) {
 	cases := []struct {
-		idle, life, want time.Duration
+		idle, life, gap, want time.Duration
 	}{
-		{0, 0, 0},
-		{40 * time.Millisecond, 0, 10 * time.Millisecond},
-		{0, 8 * time.Second, time.Second},
-		{40 * time.Millisecond, 8 * time.Millisecond, 2 * time.Millisecond},
-		{2 * time.Millisecond, 0, time.Millisecond},
+		{0, 0, 0, 0},
+		{40 * time.Millisecond, 0, 0, 10 * time.Millisecond},
+		{0, 8 * time.Second, 0, time.Second},
+		{40 * time.Millisecond, 8 * time.Millisecond, 0, 2 * time.Millisecond},
+		{2 * time.Millisecond, 0, 0, time.Millisecond},
+		{0, 0, 20 * time.Millisecond, 5 * time.Millisecond},
+		{40 * time.Millisecond, 0, 8 * time.Millisecond, 2 * time.Millisecond},
 	}
 	for _, c := range cases {
-		if got := watchdogInterval(c.idle, c.life); got != c.want {
-			t.Fatalf("watchdogInterval(%v, %v) = %v, want %v", c.idle, c.life, got, c.want)
+		if got := watchdogInterval(c.idle, c.life, c.gap); got != c.want {
+			t.Fatalf("watchdogInterval(%v, %v, %v) = %v, want %v", c.idle, c.life, c.gap, got, c.want)
 		}
 	}
 }

@@ -117,6 +117,21 @@ type Config struct {
 	// so results are bit-identical at any ShardCount. Negative values are
 	// rejected with ErrConfig.
 	ShardCount int
+
+	// ReorderWindow bounds, in samples, how far ahead of the in-order
+	// delivery frontier a framed session (FeedFrame) buffers out-of-order
+	// audio per role. Once buffered data runs past it, the oldest gap is
+	// declared lost instead of waiting for a retransmission — the
+	// structural repair bound, a pure function of the frame sequence, so
+	// framed decisions stay deterministic. 0 means frame.DefaultWindow;
+	// negative values are rejected with ErrConfig.
+	ReorderWindow int
+	// GapRepairTimeout bounds how long a framed session waits, in wall-
+	// clock time, for a retransmission to repair a reassembly gap; past
+	// it the lifecycle watchdog declares the gap lost. 0 disables the
+	// wall-clock deadline (gaps then expire only structurally or at
+	// FinishFeed); negative values are rejected with ErrConfig.
+	GapRepairTimeout time.Duration
 }
 
 // DeviceSpec describes one session device's placement and hardware quirks
@@ -210,7 +225,7 @@ func New(cfg Config) (*AuthService, error) {
 		draining: make(chan struct{}),
 		streams:  make(map[*Session]struct{}),
 	}
-	if every := watchdogInterval(cfg.SessionIdleTimeout, cfg.SessionMaxLifetime); every > 0 {
+	if every := watchdogInterval(cfg.SessionIdleTimeout, cfg.SessionMaxLifetime, cfg.GapRepairTimeout); every > 0 {
 		s.watchdogDone = make(chan struct{})
 		go s.watchdog(every)
 	}

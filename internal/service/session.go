@@ -12,6 +12,7 @@ import (
 	"github.com/acoustic-auth/piano/internal/core"
 	"github.com/acoustic-auth/piano/internal/detect"
 	"github.com/acoustic-auth/piano/internal/faultinject"
+	"github.com/acoustic-auth/piano/internal/frame"
 )
 
 // Streaming-session sentinels, re-exported from the layers that own them so
@@ -27,6 +28,24 @@ var (
 	// decide. The wrapped message carries how many samples are still
 	// missing; keep feeding and retry.
 	ErrNeedMoreAudio = errors.New("service: streaming session needs more audio")
+	// ErrInsufficientAudio: transport loss crossed the point where a
+	// decision would be a guess — cumulative loss over the detect config's
+	// MaxLossFraction ceiling, or loss inside the peak's fine-scan band.
+	// It resolves the session through the same first-writer-wins path as
+	// every other resolution; the slot is released.
+	ErrInsufficientAudio = detect.ErrInsufficientAudio
+	// ErrFrameCorrupt: a frame's payload contradicts its CRC. The frame
+	// was rejected whole — corrupt audio is never scored — and the session
+	// stays open for a retransmission.
+	ErrFrameCorrupt = frame.ErrCorrupt
+	// ErrFrameRange: a frame's samples fall outside the declared recording
+	// (or behind already-delivered audio with different sample values).
+	// Rejected whole; session open.
+	ErrFrameRange = frame.ErrRange
+	// ErrMixedFeed: a role was fed through both Feed (trusted transport)
+	// and FeedFrame (lossy transport). The two paths have incompatible
+	// ordering contracts, so a role commits to one on its first feed.
+	ErrMixedFeed = errors.New("service: role fed through both Feed and FeedFrame")
 )
 
 // Session is one admitted streaming authentication session: Steps I–III
@@ -64,10 +83,28 @@ type Session struct {
 	lastFeed atomic.Int64
 	active   atomic.Int32
 
+	// ingest holds each role's lossy-transport reassembly state, indexed
+	// by core.Role. A role that never sees a FeedFrame keeps a nil
+	// reassembler and costs nothing.
+	ingest [2]roleIngest
+
 	mu       sync.Mutex
 	resolved bool
 	res      *core.Result
 	err      error
+}
+
+// roleIngest is one role's framed-transport state: the jitter buffer
+// reassembling out-of-order frames into the in-order feed, and the
+// plain/framed commitment that keeps the two transports from interleaving.
+// Its mutex serializes FeedFrame/FinishFeed/gap-expiry for the role and is
+// always taken before the engine's own locks, so delivery order into the
+// scan — the thing the determinism contract hangs on — is the reassembler's
+// order, never a race between callers.
+type roleIngest struct {
+	mu    sync.Mutex
+	reasm *frame.Reassembler
+	plain bool // role committed to Feed; FeedFrame is refused
 }
 
 // OpenSession admits and opens a streaming session for the request:
@@ -189,6 +226,17 @@ func (sn *Session) fail(err error) error {
 	if errors.Is(err, ErrFeedOverflow) || errors.Is(err, ErrStreamDecided) {
 		return err
 	}
+	if errors.Is(err, ErrInsufficientAudio) {
+		// Too much of the recording is gone for any decision to be
+		// trustworthy. This is fatal and final: resolve the session (first
+		// writer wins — a decision that raced in first stands) rather than
+		// leave a slot occupied by a session that can never decide.
+		sn.resolve(nil, err)
+		if _, rerr, done := sn.outcome(); done && rerr != nil {
+			return rerr
+		}
+		return err
+	}
 	var pe *detect.PanicError
 	if errors.As(err, &pe) {
 		ie := &InternalError{Panic: pe.Value, Stack: pe.Stack}
@@ -253,6 +301,15 @@ func (sn *Session) Feed(role core.Role, pcm []int16) (err error) {
 	if ferr := faultinject.Fire(faultinject.SiteStreamFeed); ferr != nil {
 		return fmt.Errorf("service: feed: %w", ferr)
 	}
+	if ing := sn.ingestFor(role); ing != nil {
+		ing.mu.Lock()
+		if ing.reasm != nil {
+			ing.mu.Unlock()
+			return ErrMixedFeed
+		}
+		ing.plain = true
+		ing.mu.Unlock()
+	}
 	if ferr := sn.as.Feed(role, pcm); ferr != nil {
 		return sn.fail(ferr)
 	}
@@ -261,6 +318,215 @@ func (sn *Session) Feed(role core.Role, pcm []int16) (err error) {
 	// garbage still stalls out.
 	sn.lastFeed.Store(time.Now().UnixNano())
 	return nil
+}
+
+// ingestFor returns the role's ingest cell (nil for an unknown role, which
+// the engine then rejects with its own typed error).
+func (sn *Session) ingestFor(role core.Role) *roleIngest {
+	if int(role) < 0 || int(role) >= len(sn.ingest) {
+		return nil
+	}
+	return &sn.ingest[int(role)]
+}
+
+// FeedFrame ingests one framed chunk of the role's recording from a lossy
+// transport. Frames may arrive out of order, duplicated, or overlapping;
+// the per-role reassembler buffers them (bounded by Config.ReorderWindow)
+// and delivers contiguous runs to the same scan path as Feed, so a framed
+// session on a clean transport decides bit-identically to a Feed session
+// and to the batch pipeline.
+//
+// Typed failures, all leaving the session open: ErrFrameCorrupt (CRC
+// mismatch — the frame is rejected whole and never scored; resend it),
+// ErrFrameRange (samples outside the declared recording), ErrMixedFeed
+// (the role already committed to plain Feed). When buffered audio runs
+// more than the reorder window past the in-order frontier, the oldest gap
+// is declared lost instead of waiting — and once cumulative loss crosses
+// the detect ceiling the session resolves to ErrInsufficientAudio (fatal,
+// slot released). ErrStreamDecided, ErrInternal, and context errors follow
+// Feed's taxonomy.
+func (sn *Session) FeedFrame(role core.Role, f frame.Frame) (err error) {
+	if _, rerr, done := sn.outcome(); done {
+		if rerr != nil {
+			return rerr
+		}
+		return ErrStreamDecided
+	}
+	sn.active.Add(1)
+	defer sn.active.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			ie := &InternalError{Panic: r, Stack: debug.Stack()}
+			sn.shard.replenish(sn.svc.cfg)
+			sn.resolve(nil, ie)
+			err = ie
+		}
+	}()
+	// Chaos hook: perturb framed ingestion (error → one failed frame with
+	// the session open; panic → feeder crash, session resolves internal;
+	// delay → congested transport).
+	if ferr := faultinject.Fire(faultinject.SiteFrameFeed); ferr != nil {
+		return fmt.Errorf("service: frame feed: %w", ferr)
+	}
+	ing := sn.ingestFor(role)
+	if ing == nil {
+		return fmt.Errorf("service: unknown stream role %d", int(role))
+	}
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.plain {
+		return ErrMixedFeed
+	}
+	if ing.reasm == nil {
+		rec := sn.as.Recording(role)
+		if rec == nil {
+			// Pre-decided stream (Bluetooth out of range): no recording to
+			// reassemble against.
+			return ErrStreamDecided
+		}
+		r, rerr := frame.NewReassembler(len(rec), sn.svc.cfg.ReorderWindow)
+		if rerr != nil {
+			return fmt.Errorf("service: %w", rerr)
+		}
+		ing.reasm = r
+	}
+	dv, fresh, ferr := ing.reasm.Add(f, time.Now())
+	if derr := sn.deliver(role, dv); derr != nil {
+		return derr
+	}
+	if ferr != nil {
+		// Typed rejection (corrupt, out of range): nothing was ingested and
+		// the session stays open. Returned after any deliveries the frame's
+		// arrival unblocked structurally (there are none today — rejected
+		// frames never advance the frontier — but the order is load-bearing
+		// if that ever changes).
+		return fmt.Errorf("service: frame rejected: %w", ferr)
+	}
+	if fresh {
+		// Only a frame that contributed new samples resets the idle clock:
+		// duplicate spam must not keep a stalled session alive forever.
+		sn.lastFeed.Store(time.Now().UnixNano())
+	}
+	return nil
+}
+
+// deliver replays the reassembler's in-order deliveries into the scan
+// engine: data spans through the Feed path, lost spans through FeedLost
+// (zero-filled, their windows deterministically excluded from scoring).
+// Called with the role's ingest mutex held, so the engine sees exactly the
+// reassembler's delivery order.
+func (sn *Session) deliver(role core.Role, dv []frame.Delivery) error {
+	for _, d := range dv {
+		var err error
+		if d.Lost > 0 {
+			err = sn.as.FeedLost(role, d.Lost)
+		} else {
+			err = sn.as.Feed(role, d.PCM)
+		}
+		if err != nil {
+			return sn.fail(err)
+		}
+	}
+	return nil
+}
+
+// FinishFeed declares the role's lossy transport finished: every gap still
+// awaiting retransmission and the entire unreceived tail of the recording
+// are declared lost, unlocking whatever audio was buffered behind them.
+// After FinishFeed the role is fully fed (data plus loss), so TryResult
+// will either decide from the surviving windows or report
+// ErrInsufficientAudio — it will never wait for more audio from this role.
+// Only meaningful for framed roles; a role committed to plain Feed gets
+// ErrMixedFeed. Idempotent.
+func (sn *Session) FinishFeed(role core.Role) (err error) {
+	if _, rerr, done := sn.outcome(); done {
+		if rerr != nil {
+			return rerr
+		}
+		return ErrStreamDecided
+	}
+	sn.active.Add(1)
+	defer sn.active.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			ie := &InternalError{Panic: r, Stack: debug.Stack()}
+			sn.shard.replenish(sn.svc.cfg)
+			sn.resolve(nil, ie)
+			err = ie
+		}
+	}()
+	ing := sn.ingestFor(role)
+	if ing == nil {
+		return fmt.Errorf("service: unknown stream role %d", int(role))
+	}
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.plain {
+		return ErrMixedFeed
+	}
+	if ing.reasm == nil {
+		rec := sn.as.Recording(role)
+		if rec == nil {
+			return ErrStreamDecided
+		}
+		// No frame ever arrived: the whole recording is the tail, and
+		// Flush below declares all of it lost (which resolves the session
+		// ErrInsufficientAudio through the ceiling — the honest outcome for
+		// a transport that delivered nothing).
+		r, rerr := frame.NewReassembler(len(rec), sn.svc.cfg.ReorderWindow)
+		if rerr != nil {
+			return fmt.Errorf("service: %w", rerr)
+		}
+		ing.reasm = r
+	}
+	return sn.deliver(role, ing.reasm.Flush())
+}
+
+// FrameStats returns the role's framed-transport counters (zero for a role
+// never fed through FeedFrame).
+func (sn *Session) FrameStats(role core.Role) frame.Stats {
+	ing := sn.ingestFor(role)
+	if ing == nil {
+		return frame.Stats{}
+	}
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.reasm == nil {
+		return frame.Stats{}
+	}
+	return ing.reasm.Stats()
+}
+
+// expireGaps is the lifecycle watchdog's entry point for the wall-clock
+// gap-repair bound: any leading reassembly gap older than timeout is
+// declared lost, releasing the audio buffered behind it into the scan. A
+// panic out of the replay (a scan-worker crash) resolves the session to
+// ErrInternal exactly as a Feed-path panic would.
+func (sn *Session) expireGaps(now time.Time, timeout time.Duration) {
+	defer func() {
+		if r := recover(); r != nil {
+			ie := &InternalError{Panic: r, Stack: debug.Stack()}
+			sn.shard.replenish(sn.svc.cfg)
+			sn.resolve(nil, ie)
+		}
+	}()
+	for r := range sn.ingest {
+		role := core.Role(r)
+		ing := &sn.ingest[r]
+		func() {
+			ing.mu.Lock()
+			defer ing.mu.Unlock() // deferred: a panicking replay must not wedge the role
+			if ing.reasm == nil {
+				return
+			}
+			if dv := ing.reasm.Expire(now, timeout); len(dv) > 0 {
+				// The error (insufficient audio, cancellation) resolves the
+				// session inside fail; the watchdog itself has no caller to
+				// report to.
+				_ = sn.deliver(role, dv)
+			}
+		}()
+	}
 }
 
 // TryResult attempts the decision over the audio fed so far. need > 0

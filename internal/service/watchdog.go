@@ -47,6 +47,7 @@ func validateConfig(cfg Config) error {
 		{"MaxQueueWait", cfg.MaxQueueWait},
 		{"SessionIdleTimeout", cfg.SessionIdleTimeout},
 		{"SessionMaxLifetime", cfg.SessionMaxLifetime},
+		{"GapRepairTimeout", cfg.GapRepairTimeout},
 	} {
 		if d.v < 0 {
 			return fmt.Errorf("%w: %s %v is negative (0 disables the bound)", ErrConfig, d.name, d.v)
@@ -55,16 +56,20 @@ func validateConfig(cfg Config) error {
 	if cfg.ShardCount < 0 {
 		return fmt.Errorf("%w: ShardCount %d is negative (0 means one shard)", ErrConfig, cfg.ShardCount)
 	}
+	if cfg.ReorderWindow < 0 {
+		return fmt.Errorf("%w: ReorderWindow %d is negative (0 means the default window)", ErrConfig, cfg.ReorderWindow)
+	}
 	return nil
 }
 
 // watchdogInterval derives the sweep cadence from the configured bounds: a
 // quarter of the tightest enabled bound, clamped to [1ms, 1s], so a
-// session is reaped within ~1.25× its bound without a hot spin for
-// generous bounds. Zero when no bound is enabled (no watchdog runs).
-func watchdogInterval(idle, life time.Duration) time.Duration {
+// session is reaped (or a gap declared lost) within ~1.25× its bound
+// without a hot spin for generous bounds. Zero when no bound is enabled
+// (no watchdog runs).
+func watchdogInterval(idle, life, gap time.Duration) time.Duration {
 	tightest := time.Duration(0)
-	for _, d := range []time.Duration{idle, life} {
+	for _, d := range []time.Duration{idle, life, gap} {
 		if d > 0 && (tightest == 0 || d < tightest) {
 			tightest = d
 		}
@@ -123,6 +128,14 @@ func (s *AuthService) sweep(now time.Time) {
 	for _, sn := range open {
 		if err := sn.pastDeadline(now, s.cfg.SessionIdleTimeout, s.cfg.SessionMaxLifetime); err != nil {
 			sn.resolve(nil, err)
+			continue
+		}
+		// Gap repair deadlines: reassembly gaps older than GapRepairTimeout
+		// are declared lost, which unlocks the audio buffered behind them
+		// (and may resolve the session ErrInsufficientAudio past the loss
+		// ceiling — through the same first-writer-wins path).
+		if s.cfg.GapRepairTimeout > 0 {
+			sn.expireGaps(now, s.cfg.GapRepairTimeout)
 		}
 	}
 }

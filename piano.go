@@ -98,6 +98,12 @@ type Decision struct {
 	// AuthTimeSec is the modeled wall-clock latency on prototype
 	// hardware.
 	AuthTimeSec float64
+	// Degraded is non-nil when the decision was made over a framed
+	// session that lost audio to the transport: the surviving windows
+	// still revealed the signals decisively, and this reports how much
+	// was lost. Nil for batch decisions and for loss-free sessions —
+	// whose decisions are bit-identical to batch.
+	Degraded *Degraded
 }
 
 // Measurement is the outcome of one raw ACTION distance estimation.

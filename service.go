@@ -84,6 +84,20 @@ type ServiceConfig struct {
 	// are bit-identical at any ShardCount. Default (0): one shard, the
 	// pre-sharding layout; negative values are rejected with ErrConfig.
 	ShardCount int
+	// ReorderWindow bounds, in samples, how far ahead of the in-order
+	// frontier a framed session (FeedFrame) buffers out-of-order audio
+	// per role; past it the oldest gap is declared lost instead of
+	// waiting for a retransmission. A pure function of the frame
+	// sequence, so framed decisions stay deterministic. Default (0): the
+	// frame package's default window; negative values are rejected with
+	// ErrConfig.
+	ReorderWindow int
+	// GapRepairTimeout bounds how long a framed session waits in wall-
+	// clock time for a retransmission to repair a reassembly gap before
+	// the lifecycle watchdog declares it lost. Default (0): no wall-clock
+	// deadline (gaps expire only structurally or at FinishFeed); negative
+	// values are rejected with ErrConfig.
+	GapRepairTimeout time.Duration
 }
 
 // DefaultServiceConfig mirrors DefaultConfig for the service surface:
@@ -143,6 +157,8 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		SessionIdleTimeout: cfg.SessionIdleTimeout,
 		SessionMaxLifetime: cfg.SessionMaxLifetime,
 		ShardCount:         cfg.ShardCount,
+		ReorderWindow:      cfg.ReorderWindow,
+		GapRepairTimeout:   cfg.GapRepairTimeout,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("piano: %w", err)
@@ -190,6 +206,7 @@ func toDecision(res *core.Result) *Decision {
 	dec := &Decision{Granted: res.Granted, Reason: res.Reason, DistanceM: res.DistanceM}
 	if res.Session != nil {
 		dec.AuthTimeSec = res.Session.AuthTimeSec
+		dec.Degraded = res.Session.Degraded
 	}
 	return dec
 }

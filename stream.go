@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"github.com/acoustic-auth/piano/internal/core"
+	"github.com/acoustic-auth/piano/internal/frame"
 	"github.com/acoustic-auth/piano/internal/service"
 )
 
@@ -33,7 +34,50 @@ var (
 	// ErrNeedMoreAudio: Result was called before enough audio had arrived
 	// to decide. Keep feeding and retry.
 	ErrNeedMoreAudio = service.ErrNeedMoreAudio
+	// ErrInsufficientAudio: the transport lost too much of the recording
+	// for any decision to be trustworthy — cumulative loss over the
+	// configured ceiling, or loss inside the detected peak's fine-scan
+	// band. The session is resolved (slot released); the caller must
+	// restart the protocol, never accept a low-confidence answer.
+	ErrInsufficientAudio = service.ErrInsufficientAudio
+	// ErrFrameMalformed: bytes that are not a frame at all (short header,
+	// wrong magic/version, length mismatch). From DecodeFrame only.
+	ErrFrameMalformed = frame.ErrMalformed
+	// ErrFrameCorrupt: a frame's payload contradicts its CRC. The frame
+	// was rejected whole — corrupt audio is never scored — and the
+	// session stays open for a retransmission.
+	ErrFrameCorrupt = service.ErrFrameCorrupt
+	// ErrFrameRange: a frame's samples fall outside the declared
+	// recording or contradict already-delivered audio. Rejected whole;
+	// session open.
+	ErrFrameRange = service.ErrFrameRange
+	// ErrMixedFeed: a role was fed through both Feed and FeedFrame; each
+	// role commits to one transport on its first feed.
+	ErrMixedFeed = service.ErrMixedFeed
 )
+
+// Frame is one wire chunk of a role's PCM on a lossy transport: a sequence
+// number, the chunk's sample offset in the recording, a CRC-32 over header
+// and payload, and the samples themselves. Build with NewFrame (which
+// computes the CRC), serialize with EncodeFrame/Frame.Encode, parse with
+// DecodeFrame.
+type Frame = frame.Frame
+
+// FrameStats counts one role's framed-transport traffic: accepted frames,
+// duplicates, CRC rejections, range rejections, and samples declared lost.
+type FrameStats = frame.Stats
+
+// Degraded reports how much audio a decided session lost to the transport
+// (see Decision.Degraded).
+type Degraded = core.Degraded
+
+// NewFrame builds a frame for the pcm chunk starting at sample offset,
+// computing its CRC. The pcm slice is referenced, not copied.
+func NewFrame(seq uint32, offset int, pcm []int16) Frame { return frame.New(seq, offset, pcm) }
+
+// DecodeFrame parses one encoded frame. Typed failures: ErrFrameMalformed
+// (not a frame), ErrFrameCorrupt (CRC mismatch).
+func DecodeFrame(buf []byte) (Frame, error) { return frame.Decode(buf) }
 
 // AuthSession is one online authentication session: the protocol's
 // signal exchange runs at open time, and the session then ingests each
@@ -94,7 +138,11 @@ func wrapSessionErr(err error) error {
 		errors.Is(err, ErrStreamDecided),
 		errors.Is(err, ErrFeedOverflow),
 		errors.Is(err, ErrNeedMoreAudio),
-		errors.Is(err, ErrSessionReaped):
+		errors.Is(err, ErrSessionReaped),
+		errors.Is(err, ErrInsufficientAudio),
+		errors.Is(err, ErrFrameCorrupt),
+		errors.Is(err, ErrFrameRange),
+		errors.Is(err, ErrMixedFeed):
 		return err
 	}
 	return fmt.Errorf("piano: %w", err)
@@ -122,6 +170,33 @@ func (a *AuthSession) Fed(role Role) int { return a.sn.Fed(role) }
 func (a *AuthSession) Feed(role Role, pcm []int16) error {
 	return wrapSessionErr(a.sn.Feed(role, pcm))
 }
+
+// FeedFrame ingests one framed chunk of the role's audio from a lossy
+// transport: frames may arrive out of order, duplicated, overlapping, or
+// corrupted, and the session reassembles them — bounded by the service's
+// ReorderWindow — into the same scan path Feed uses, so a framed session
+// on a clean transport decides bit-identically to Feed and to batch.
+// Typed failures leaving the session open: ErrFrameCorrupt (resend it),
+// ErrFrameRange, ErrMixedFeed. Gaps unrepaired past the reorder window
+// (or GapRepairTimeout) are declared lost: their windows are excluded
+// from scoring, and a session losing more than the detect ceiling — or
+// audio the decision would have to trust — resolves ErrInsufficientAudio.
+func (a *AuthSession) FeedFrame(role Role, f Frame) error {
+	return wrapSessionErr(a.sn.FeedFrame(role, f))
+}
+
+// FinishFeed declares the role's lossy transport finished: outstanding
+// gaps and the unreceived tail are declared lost, so Result will either
+// decide from the surviving audio or report ErrInsufficientAudio rather
+// than wait forever. Idempotent; framed roles only (ErrMixedFeed
+// otherwise).
+func (a *AuthSession) FinishFeed(role Role) error {
+	return wrapSessionErr(a.sn.FinishFeed(role))
+}
+
+// FrameStats returns the role's framed-transport counters (zero for a
+// role fed through plain Feed).
+func (a *AuthSession) FrameStats(role Role) FrameStats { return a.sn.FrameStats(role) }
 
 // TryResult attempts the decision over the audio fed so far: need > 0
 // means the session is healthy but some role requires at least that many

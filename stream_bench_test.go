@@ -39,6 +39,77 @@ func BenchmarkOnline(b *testing.B) { benchOnline(b, false) }
 // (recorded in BENCH_lifecycle.json; must stay within noise).
 func BenchmarkOnlineWatchdog(b *testing.B) { benchOnline(b, true) }
 
+// BenchmarkOnlineFramed is BenchmarkOnline's decision-latency measured
+// through the framed lossy-transport path on a perfectly clean wire: the
+// same pre-feed-to-horizon shape, but every chunk travels as a
+// CRC-protected frame through the per-role reassembler. The delta against
+// BenchmarkOnline/decision-latency is the framing overhead on clean
+// transport — CRC verify plus in-order fast-path reassembly — recorded in
+// BENCH_loss.json; the acceptance bound is under 2%.
+func BenchmarkOnlineFramed(b *testing.B) {
+	const finalChunk = 4096
+	req := benchStreamRequest()
+	svcCfg := DefaultServiceConfig()
+	svcCfg.Workers = 2
+	svc, err := NewService(svcCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+
+	b.Run("decision-latency", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sess, err := svc.OpenSession(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-feed each role to its horizon minus the final chunk,
+			// frame by frame, exactly as a clean wire delivers them.
+			finals := map[Role]Frame{}
+			for _, role := range []Role{RoleAuth, RoleVouch} {
+				horizon := sess.EarlyFeedLen(role)
+				cut := horizon - finalChunk
+				if cut < 0 {
+					cut = 0
+				}
+				rec := sess.Recording(role)
+				seq := uint32(0)
+				for off := 0; off < cut; off += finalChunk {
+					end := off + finalChunk
+					if end > cut {
+						end = cut
+					}
+					if err := sess.FeedFrame(role, NewFrame(seq, off, rec[off:end])); err != nil {
+						b.Fatal(err)
+					}
+					seq++
+				}
+				finals[role] = NewFrame(seq, cut, rec[cut:horizon])
+			}
+			b.StartTimer()
+			for _, role := range []Role{RoleAuth, RoleVouch} {
+				if err := sess.FeedFrame(role, finals[role]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			dec, need, err := sess.TryResult()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if need != 0 || dec == nil {
+				b.Fatalf("framed horizon feed undecided: need=%d", need)
+			}
+			if dec.Degraded != nil {
+				b.Fatal("clean framed feed reported degraded")
+			}
+		}
+	})
+}
+
 func benchOnline(b *testing.B, watchdog bool) {
 	const finalChunk = 4096
 	req := benchStreamRequest()
